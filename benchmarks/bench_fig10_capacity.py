@@ -1,0 +1,20 @@
+"""Bench F10 — saving vs cache capacity (extension experiment).
+
+Smaller caches miss more, shifting energy from encoded demand accesses to
+fills and writebacks where the predictor has had no history yet; savings
+therefore dip at low capacities and saturate once the working sets fit.
+"""
+
+from benchmarks.conftest import run_and_render
+
+
+def test_fig10_capacity(benchmark, bench_size, bench_seed):
+    result = run_and_render(benchmark, "f10", bench_size, bench_seed)
+    series = result.data["series"]
+    # Every capacity still saves energy on average.
+    assert all(saving > 0 for saving in series.values())
+    # Savings never degrade when capacity grows (weak monotonicity with a
+    # small tolerance for replacement-policy noise).
+    capacities = sorted(series)
+    for small_cap, large_cap in zip(capacities, capacities[1:]):
+        assert series[large_cap] >= series[small_cap] - 0.02

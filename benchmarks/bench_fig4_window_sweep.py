@@ -1,0 +1,18 @@
+"""Bench F4 — sensitivity to the prediction window W.
+
+Small W adapts fast but thrashes and burns history writes per access;
+large W adapts slowly and widens the H bits.  The paper motivates choosing
+W "properly" (Sec. III-C); this bench regenerates the trade-off curve.
+"""
+
+from benchmarks.conftest import run_and_render
+
+
+def test_fig4_window_sweep(benchmark, bench_size, bench_seed):
+    result = run_and_render(benchmark, "f4", bench_size, bench_seed)
+    series = result.data["series"]
+    assert set(series) == {4, 8, 16, 32, 64}
+    # Every window setting must still save energy on average.
+    assert all(saving > 0 for saving in series.values())
+    # The curve is not flat: the knob matters.
+    assert max(series.values()) - min(series.values()) > 0.002

@@ -1,0 +1,17 @@
+"""Bench F5 — sensitivity to the partition count K (Fig. 2's motivation).
+
+On mixed-content lines (records: ASCII + sentinels + small ints per line)
+finer partitions must beat whole-line inversion; on homogeneous lines the
+extra direction bits are pure overhead — the curve separates the two.
+"""
+
+from benchmarks.conftest import run_and_render
+
+
+def test_fig5_partition_sweep(benchmark, bench_size, bench_seed):
+    result = run_and_render(benchmark, "f5", bench_size, bench_seed)
+    mixed = result.data["mixed"]
+    # On mixed-content workloads, some K > 1 beats whole-line inversion.
+    assert max(mixed[k] for k in (4, 8, 16, 32)) > mixed[1]
+    # All-workload average stays positive across the sweep.
+    assert all(saving > 0 for saving in result.data["all"].values())

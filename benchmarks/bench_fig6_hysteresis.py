@@ -1,0 +1,19 @@
+"""Bench F6 — the encoding-switch hysteresis margin dT.
+
+The paper's draft text promises to "explore the relationship between dT
+and dynamic energy saving"; this regenerates that sweep.  Larger dT
+monotonically suppresses switches; the energy curve has a (shallow)
+interior structure.
+"""
+
+from benchmarks.conftest import run_and_render
+
+
+def test_fig6_hysteresis(benchmark, bench_size, bench_seed):
+    result = run_and_render(benchmark, "f6", bench_size, bench_seed)
+    # rows: [dT, avg saving %, total switches]
+    switches = [row[2] for row in result.rows]
+    # Switch count is monotone non-increasing in dT.
+    assert all(a >= b for a, b in zip(switches, switches[1:]))
+    # Energy stays positive over the whole sweep.
+    assert all(row[1] > 0 for row in result.rows)

@@ -1,0 +1,24 @@
+"""Bench F7 — energy breakdown by component, per scheme.
+
+Shows where CNT-Cache's savings come from (cheaper demand reads/writes)
+and what it pays (metadata traffic, re-encode writes, predictor logic).
+"""
+
+from benchmarks.conftest import run_and_render
+
+
+def test_fig7_breakdown(benchmark, bench_size, bench_seed):
+    result = run_and_render(benchmark, "f7", bench_size, bench_seed)
+    totals = result.data["totals"]
+
+    baseline = totals["baseline"]
+    cnt = totals["cnt"]
+    # The baseline carries no scheme overheads at all.
+    assert baseline.metadata_read_fj == 0
+    assert baseline.reencode_fj == 0
+    assert baseline.logic_fj == 0
+    # CNT pays real overheads yet still wins on total energy.
+    assert cnt.metadata_read_fj > 0
+    assert cnt.total_fj < baseline.total_fj
+    # The win comes from the data array, net of overheads.
+    assert cnt.data_fj < baseline.data_fj

@@ -1,0 +1,17 @@
+"""Bench F8 — CNT-Cache vs the posteriori oracle encoder.
+
+The oracle re-picks every partition's direction for free on each access:
+it upper-bounds any realisable saving.  The interesting series is the
+fraction of oracle headroom the windowed predictor captures.
+"""
+
+from benchmarks.conftest import run_and_render
+
+
+def test_fig8_oracle_gap(benchmark, bench_size, bench_seed):
+    result = run_and_render(benchmark, "f8", bench_size, bench_seed)
+    for workload, row in zip(result.data["capture"], result.rows):
+        cnt_saving, oracle_saving = row[1], row[2]
+        # The oracle never loses, and bounds the realised scheme above.
+        assert oracle_saving >= -1e-6, workload
+        assert cnt_saving <= oracle_saving + 1e-6, workload

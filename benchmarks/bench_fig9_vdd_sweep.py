@@ -1,0 +1,17 @@
+"""Bench F9 — energy per access vs supply voltage, CNFET vs CMOS.
+
+Regenerates the motivation figure: the CNFET array undercuts the CMOS
+reference across the Vdd range, and CNT-Cache widens the gap further.
+"""
+
+from benchmarks.conftest import run_and_render
+
+
+def test_fig9_vdd_sweep(benchmark, bench_size, bench_seed):
+    result = run_and_render(benchmark, "f9", bench_size, bench_seed)
+    series = result.data["series"]
+    for vdd, (cmos, cnfet_base, cnt) in series.items():
+        assert cnfet_base < cmos, vdd  # CNFET beats CMOS everywhere
+        assert cnt < cnfet_base, vdd  # encoding stacks on top
+    # Quadratic scaling: 1.2 V costs ~4x of 0.6 V.
+    assert series[1.2][1] / series[0.6][1] > 3.0

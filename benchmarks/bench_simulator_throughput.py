@@ -1,0 +1,29 @@
+"""Simulator-throughput microbenchmarks (not a paper artifact).
+
+Measures accesses/second of the replay engine itself so regressions in the
+hot path (encode + popcount + bookkeeping per access) are visible.
+"""
+
+import pytest
+
+from repro.core.cntcache import CNTCache
+from repro.core.config import CNTCacheConfig
+from repro.trace.synth import zipf_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return zipf_trace(
+        5000, footprint=1 << 14, write_ratio=0.3, ones_density=0.3, seed=5
+    )
+
+
+@pytest.mark.parametrize("scheme", ["baseline", "dbi", "invert", "cnt"])
+def test_replay_throughput(benchmark, trace, scheme):
+    def replay():
+        sim = CNTCache(CNTCacheConfig(scheme=scheme))
+        sim.run(trace)
+        return sim.stats.accesses
+
+    accesses = benchmark(replay)
+    assert accesses == len(trace)

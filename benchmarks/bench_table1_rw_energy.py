@@ -1,0 +1,16 @@
+"""Bench T1 — Table I: CNFET SRAM per-bit read/write energies.
+
+Regenerates the paper's ``tab:rw-analysis`` from the physical cell model
+and checks the two facts the paper states about it.
+"""
+
+from benchmarks.conftest import run_and_render
+
+
+def test_table1_rw_energy(benchmark, bench_size, bench_seed):
+    result = run_and_render(benchmark, "t1", bench_size, bench_seed)
+    pinned = result.data["pinned"]
+    # Abstract: writing '1' is "almost 10X" writing '0'.
+    assert 8.0 < pinned.write_asymmetry < 12.0
+    # Sec. III: the two deltas are "quite close" (Th_rd ~ W/2).
+    assert 0.9 < pinned.delta_read / pinned.delta_write < 1.1

@@ -1,0 +1,13 @@
+"""Bench T2 — the simulated cache configuration table."""
+
+from benchmarks.conftest import run_and_render
+
+
+def test_table2_config(benchmark, bench_size, bench_seed):
+    result = run_and_render(benchmark, "t2", bench_size, bench_seed)
+    config = result.data["config"]
+    assert config.size == 32 * 1024
+    assert config.assoc == 4
+    assert config.line_size == 64
+    # The H&D widening must stay a small fraction of the line.
+    assert config.storage_overhead < 0.05

@@ -1,0 +1,13 @@
+"""Bench T3 — H&D metadata storage overhead vs W and K."""
+
+from benchmarks.conftest import run_and_render
+
+
+def test_table3_overhead(benchmark, bench_size, bench_seed):
+    result = run_and_render(benchmark, "t3", bench_size, bench_seed)
+    overhead = {(row[0], row[1]): row[5] for row in result.rows}
+    # Monotone in both knobs.
+    assert overhead[(64, 16)] > overhead[(16, 16)] > overhead[(4, 16)]
+    assert overhead[(16, 16)] > overhead[(16, 8)] > overhead[(16, 1)]
+    # The paper's default configuration stays nearly free.
+    assert overhead[(16, 8)] < 4.0

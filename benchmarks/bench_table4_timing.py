@@ -1,0 +1,14 @@
+"""Bench T4 — access-latency breakdown and the 'negligible encoder' claim."""
+
+from benchmarks.conftest import run_and_render
+
+
+def test_table4_timing(benchmark, bench_size, bench_seed):
+    result = run_and_render(benchmark, "t4", bench_size, bench_seed)
+    # Paper (Sec. III-A): the inverter+mux structure "has negligible
+    # influence on the timing of the critical data path".
+    assert result.data["overhead"] < 0.02
+    plain = result.data["plain"]
+    encoded = result.data["encoded"]
+    assert encoded.total_ps > plain.total_ps
+    assert plain.bitline_ps == encoded.bitline_ps

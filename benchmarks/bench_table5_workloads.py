@@ -1,0 +1,19 @@
+"""Bench T5 — workload-characterisation table (evaluation setup)."""
+
+from benchmarks.conftest import run_and_render
+
+
+def test_table5_workloads(benchmark, bench_size, bench_seed):
+    result = run_and_render(benchmark, "t5", bench_size, bench_seed)
+    assert len(result.rows) == 15
+    for row in result.rows:
+        _name, accesses, write_ratio, ones_density, footprint, hit_rate = row
+        assert accesses > 100
+        assert 0.0 <= write_ratio <= 1.0
+        assert 0.0 < ones_density < 1.0
+        assert footprint >= 0
+        assert 0.0 <= hit_rate <= 1.0
+    # The suite must span both value regimes: skewed and near-balanced.
+    densities = [row[3] for row in result.rows]
+    assert min(densities) < 0.2
+    assert max(densities) > 0.4

@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables/figures and prints
+the same rows/series the paper reports.  Problem size defaults to ``tiny``
+to keep ``pytest benchmarks/ --benchmark-only`` wall-clock friendly; set
+``REPRO_BENCH_SIZE=small`` (or ``default``) to reproduce at full size —
+the numbers quoted in EXPERIMENTS.md come from ``small``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_size() -> str:
+    size = os.environ.get("REPRO_BENCH_SIZE", "tiny")
+    if size not in ("tiny", "small", "default"):
+        raise ValueError(f"bad REPRO_BENCH_SIZE {size!r}")
+    return size
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+def run_and_render(benchmark, experiment_id, size, seed):
+    """Run one experiment under pytest-benchmark and print its table."""
+    from repro.harness.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"size": size, "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    return result

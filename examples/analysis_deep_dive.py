@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Deep dive: *why* a workload saves (or loses) energy under CNT-Cache.
+
+Uses the analysis package on two contrasting workloads — ``dijkstra``
+(a big winner) and ``stream`` (the suite's negative case) — to show the
+three diagnostic views: value structure, per-line behaviour, and the
+predictor's hindsight accuracy.
+
+Run:  python examples/analysis_deep_dive.py
+"""
+
+from repro import CNTCache, CNTCacheConfig, get_workload
+from repro.analysis import LineProfiler, audit_predictions, density_profile
+from repro.harness.charts import sparkline
+
+
+def dissect(name: str) -> None:
+    run = get_workload(name).build("small", seed=7)
+    print(f"=== {name} " + "=" * (60 - len(name)))
+
+    # 1. Value structure: how much encoding headroom does the data have?
+    profile = density_profile(run.trace, region_size=4096, phase_length=800)
+    print(f"ones density     {profile.overall_density:.3f} "
+          f"(0.5 = nothing to encode)")
+    print(f"opportunity      {profile.encoding_opportunity():.3f} "
+          f"(traffic-weighted |density - 0.5|)")
+    print(f"density by phase {sparkline(profile.phase_densities)}")
+    skewed = profile.skewed_regions(0.25)
+    print(f"skewed regions   {len(skewed)}/{len(profile.regions)}")
+
+    # 2. Per-line behaviour: hot lines and thrashing lines.
+    profiler = LineProfiler(CNTCache(CNTCacheConfig()))
+    profiler.run(run.trace, run.preloads)
+    summary = profiler.summary()
+    print(f"lines touched    {summary['lines_touched']}, "
+          f"windows {summary['windows']}, "
+          f"switches {summary['switches']} "
+          f"(rate {summary['switch_rate']:.2f}/window)")
+    worst = profiler.top_switchers(1)
+    if worst and worst[0].switches:
+        line = worst[0]
+        print(f"thrashiest line  {line.line_addr:#x}: "
+              f"{line.switches} switches over {line.windows} windows, "
+              f"write ratio {line.write_ratio:.2f}")
+
+    # 3. Predictor quality: does "next window looks like the last" hold?
+    audit = audit_predictions(
+        CNTCache(CNTCacheConfig()), run.trace, run.preloads
+    )
+    print(f"hindsight audit  {audit.accuracy:.1%} of {audit.decisions} "
+          f"decisions confirmed "
+          f"({audit.switched_wrong} wrong switches, "
+          f"{audit.kept_wrong} missed switches)")
+
+    # 4. The resulting energy.
+    base = CNTCache(CNTCacheConfig(scheme="baseline"))
+    base.preload_all(run.preloads)
+    base.run(run.trace)
+    cnt = CNTCache(CNTCacheConfig())
+    cnt.preload_all(run.preloads)
+    cnt.run(run.trace)
+    print(f"outcome          {cnt.stats.savings_vs(base.stats):+.1%} "
+          f"dynamic energy vs baseline")
+    print()
+
+
+def main() -> None:
+    dissect("dijkstra")
+    dissect("stream")
+    print("Reading the tea leaves: dijkstra's INF-heavy, read-dominated")
+    print("lines are both skewed and stable, so the predictor is nearly")
+    print("always right.  stream's phases flip exactly at window")
+    print("boundaries - the audit shows the predictor wrong most of the")
+    print("time there, which is precisely where its energy loss comes from.")
+
+
+if __name__ == "__main__":
+    main()

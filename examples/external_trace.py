@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Drive CNT-Cache with an external, address-only trace.
+
+Published cache traces (Dinero ``din``, pin dumps) carry no data values;
+the importer synthesises them through a pluggable value model.  This
+example builds a little din file, imports it under three different value
+models, and shows how the *relative* scheme ordering survives even though
+absolute energies depend on the synthesised values — the reason imported
+traces are still useful for scheme comparison.
+
+Run:  python examples/external_trace.py
+"""
+
+import random
+import tempfile
+from pathlib import Path
+
+from repro import CNTCache, CNTCacheConfig
+from repro.harness.tables import render_table
+from repro.trace.external import ValueModel, import_din
+
+
+def make_din(path: Path, n: int = 6000, seed: int = 1) -> None:
+    """A synthetic din file: zipf-ish data accesses, 25% writes."""
+    rng = random.Random(seed)
+    hot = [0x10000 + 64 * rng.randrange(64) for _ in range(24)]
+    lines = []
+    for _ in range(n):
+        if rng.random() < 0.7:
+            addr = rng.choice(hot) + 4 * rng.randrange(16)
+        else:
+            addr = 0x10000 + 4 * rng.randrange(8192)
+        label = 1 if rng.random() < 0.25 else 0
+        lines.append(f"{label} {addr:x}")
+    path.write_text("\n".join(lines))
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        din_path = Path(tmp) / "example.din"
+        make_din(din_path)
+
+        rows = []
+        for kind in ("zero", "sparse", "sticky", "uniform"):
+            trace = import_din(
+                din_path, access_size=4, value_model=ValueModel(kind, seed=2)
+            )
+            row = [kind]
+            base_total = None
+            for scheme in ("baseline", "invert", "cnt"):
+                sim = CNTCache(CNTCacheConfig(scheme=scheme))
+                sim.run(trace)
+                if scheme == "baseline":
+                    base_total = sim.stats.total_fj
+                    row.append(base_total / 1e6)
+                else:
+                    row.append(100 * (1 - sim.stats.total_fj / base_total))
+            rows.append(row)
+
+        print(
+            render_table(
+                ["value model", "baseline nJ", "invert %", "cnt %"],
+                rows,
+                title="Imported din trace under different value models",
+            )
+        )
+        print()
+        print("Absolute energies move with the value model - uniform data")
+        print("leaves the encoder only the zero-filled cold line bytes to")
+        print("exploit, skewed models much more - but the scheme ordering")
+        print("(adaptive encoding > baseline) is robust across all of them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""CNT-Cache: an Energy-Efficient Carbon Nanotube Cache with Adaptive Encoding.
+
+Full reproduction of the DATE 2020 paper: the CNFET SRAM energy model, a
+valued-trace cache simulator, the adaptive encoding architecture
+(partitioned inversion codec + Algorithm 1 direction predictor + deferred
+update FIFOs), baseline encoders, a 15-kernel workload suite, and the
+experiment harness that regenerates every table and figure.
+
+Quickstart::
+
+    from repro import CNTCache, CNTCacheConfig, get_workload
+
+    run = get_workload("records").build("small", seed=7)
+    cnt = CNTCache(CNTCacheConfig(scheme="cnt"))
+    cnt.preload_all(run.preloads)
+    cnt.run(run.trace)
+    base = CNTCache(CNTCacheConfig(scheme="baseline"))
+    base.preload_all(run.preloads)
+    base.run(run.trace)
+    print(f"saving: {cnt.stats.savings_vs(base.stats):.1%}")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every experiment.
+"""
+
+from repro.cnfet import BitEnergyModel, LeakageModel, Sram6TCell, render_table1
+from repro.core import (
+    CNTCache,
+    CNTCacheConfig,
+    EnergyStats,
+    SCHEMES,
+    preset,
+    preset_names,
+)
+from repro.harness import compare_schemes, oracle_bound, replay, run_suite
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.trace import Access, Op, read_trace, write_trace
+from repro.workloads import WORKLOADS, get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitEnergyModel",
+    "LeakageModel",
+    "Sram6TCell",
+    "render_table1",
+    "CNTCache",
+    "CNTCacheConfig",
+    "EnergyStats",
+    "SCHEMES",
+    "preset",
+    "preset_names",
+    "Access",
+    "Op",
+    "read_trace",
+    "write_trace",
+    "WORKLOADS",
+    "get_workload",
+    "workload_names",
+    "replay",
+    "compare_schemes",
+    "run_suite",
+    "oracle_bound",
+    "EXPERIMENTS",
+    "run_experiment",
+    "__version__",
+]

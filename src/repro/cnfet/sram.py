@@ -1,0 +1,211 @@
+"""Single-ended CNFET 6T SRAM cell energy model.
+
+Why read/write energy depends on the *value* of the bit
+-------------------------------------------------------
+
+The CNT-Cache paper builds its cache from CNFET SRAM cells with a
+**single-ended, precharge-high** bitline discipline (the low-power choice for
+CNFET arrays, where the strong near-ballistic pull-down makes single-ended
+full-swing reads fast enough):
+
+* **Read**: the bitline is precharged to Vdd.  If the cell stores ``0`` the
+  pull-down path discharges the bitline through the access transistor — a
+  full bitline swing that must be paid again at the next precharge.  If the
+  cell stores ``1`` the bitline simply *stays* high: only the wordline slice
+  and the sense inverter toggle.  Hence ``E_rd0 >> E_rd1``.
+* **Write**: writing ``1`` must charge the (discharged) bitline all the way
+  to Vdd *and* overpower the cell's strong pull-down NFET, burning crowbar
+  current while the cell flips.  Writing ``0`` merely sinks the bitline and
+  tips the cell over with the (cheap) discharge path.  Hence
+  ``E_wr1 >> E_wr0`` — the paper's abstract quotes "almost 10X".
+
+The component formulas below reproduce exactly the two facts the paper pins
+down: ``E_wr1 ~= 10 x E_wr0`` and ``E_rd0 - E_rd1 ~= E_wr1 - E_wr0`` (which
+is what makes ``Th_rd ~= W/2`` in Eq. 3).
+
+All energies are in femtojoules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cnfet.device import CNFETDevice, DeviceModelError
+
+#: Wire capacitance contributed to the bitline by each cell pitch, fF.
+_C_WIRE_PER_CELL_FF = 0.078
+
+#: Energy of one sense-inverter evaluation, fJ (device-level constant folded
+#: from the sense stage's input gate cap and output load).
+_E_SENSE_FJ = 0.42
+
+#: Per-bit share of wordline toggling energy, fJ.  The wordline is shared by
+#: the whole row, so each bit carries only a small slice.
+_E_WORDLINE_SHARE_FJ = 0.03
+
+#: Time for the cross-coupled pair to flip during a write, seconds.
+_T_FLIP_S = 20e-12
+
+#: Fraction of the flip interval during which crowbar current flows.
+_CROWBAR_DUTY = 0.9
+
+#: Overhead of restoring a discharged bitline through the precharge network
+#: and column mux after a read-0 (junction and short-circuit losses on top
+#: of the ideal CV^2 swing).
+_PRECHARGE_RESTORE_OVERHEAD = 1.27
+
+#: Fraction of the write crowbar energy also burnt on a write-0 (the access
+#: transistor briefly fights the pull-up while tipping the cell).
+_WRITE0_CROWBAR_SHARE = 0.33
+
+
+@dataclass(frozen=True)
+class SramArrayGeometry:
+    """Physical organisation of one SRAM subarray.
+
+    ``rows`` sets the bitline length and therefore the bitline capacitance —
+    the dominant term in every value-dependent energy component.  CNT-Cache
+    style low-power arrays use short (64-row) subarrays.
+    """
+
+    rows: int = 64
+    cols: int = 512
+    wire_cap_per_cell_ff: float = _C_WIRE_PER_CELL_FF
+
+    def __post_init__(self) -> None:
+        if self.rows < 2:
+            raise DeviceModelError(f"rows must be >= 2, got {self.rows}")
+        if self.cols < 1:
+            raise DeviceModelError(f"cols must be >= 1, got {self.cols}")
+        if self.wire_cap_per_cell_ff <= 0:
+            raise DeviceModelError("wire_cap_per_cell_ff must be positive")
+
+
+@dataclass(frozen=True)
+class Sram6TCell:
+    """A 6T CNFET SRAM cell inside a subarray, with per-value energies.
+
+    Parameters
+    ----------
+    access:
+        The NFET access transistor (pass gate).
+    pull_down:
+        The cell's pull-down NFET — deliberately strong in CNFET designs,
+        which is what makes overpowering it during a write-1 expensive.
+    pull_up:
+        The p-type load device.
+    geometry:
+        Subarray organisation (bitline length).
+    """
+
+    access: CNFETDevice = field(default_factory=lambda: CNFETDevice(n_tubes=4))
+    pull_down: CNFETDevice = field(default_factory=lambda: CNFETDevice(n_tubes=6))
+    pull_up: CNFETDevice = field(
+        default_factory=lambda: CNFETDevice(n_tubes=2).as_pfet()
+    )
+    geometry: SramArrayGeometry = field(default_factory=SramArrayGeometry)
+
+    def __post_init__(self) -> None:
+        vdds = {self.access.vdd, self.pull_down.vdd, self.pull_up.vdd}
+        if len(vdds) != 1:
+            raise DeviceModelError(
+                f"all devices in a cell must share one Vdd, got {sorted(vdds)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # derived electrical quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def vdd(self) -> float:
+        """Cell supply voltage in volts."""
+        return self.access.vdd
+
+    @property
+    def bitline_capacitance_ff(self) -> float:
+        """Total bitline capacitance seen by one column, fF."""
+        per_cell = (
+            self.geometry.wire_cap_per_cell_ff + self.access.junction_capacitance_ff
+        )
+        return per_cell * self.geometry.rows
+
+    @property
+    def cell_flip_energy_fj(self) -> float:
+        """Energy to toggle the cross-coupled pair's internal nodes, fJ."""
+        internal_cap = (
+            self.pull_down.gate_capacitance_ff
+            + self.pull_up.gate_capacitance_ff
+            + self.pull_down.junction_capacitance_ff
+            + self.pull_up.junction_capacitance_ff
+        )
+        # Both internal nodes swing rail to rail: C * Vdd^2 total.
+        return internal_cap * self.vdd**2
+
+    @property
+    def crowbar_energy_fj(self) -> float:
+        """Short-circuit energy burnt overpowering the pull-down on write-1."""
+        i_on_amps = self.pull_down.on_current_ua * 1e-6
+        joules = i_on_amps * self.vdd * _T_FLIP_S * _CROWBAR_DUTY
+        return joules * 1e15
+
+    # ------------------------------------------------------------------ #
+    # the four per-bit energies (Table I of the paper)
+    # ------------------------------------------------------------------ #
+    @property
+    def e_rd0_fj(self) -> float:
+        """Energy of reading a stored '0': full bitline discharge + restore."""
+        swing = self.bitline_capacitance_ff * self.vdd**2
+        return swing * _PRECHARGE_RESTORE_OVERHEAD + _E_SENSE_FJ + _E_WORDLINE_SHARE_FJ
+
+    @property
+    def e_rd1_fj(self) -> float:
+        """Energy of reading a stored '1': bitline stays high, sense only."""
+        return _E_SENSE_FJ + _E_WORDLINE_SHARE_FJ
+
+    @property
+    def e_wr1_fj(self) -> float:
+        """Energy of writing a '1': bitline charge + crowbar + cell flip."""
+        bitline = self.bitline_capacitance_ff * self.vdd**2
+        return (
+            bitline
+            + self.crowbar_energy_fj
+            + self.cell_flip_energy_fj
+            + _E_WORDLINE_SHARE_FJ
+        )
+
+    @property
+    def e_wr0_fj(self) -> float:
+        """Energy of writing a '0': sink the bitline and tip the cell."""
+        # The write driver sinks the bitline to ground (cheap: the charge was
+        # already paid for at precharge and is simply dumped); only the cell
+        # flip and a sliver of driver/wordline energy are burnt here.
+        return (
+            self.cell_flip_energy_fj
+            + _WRITE0_CROWBAR_SHARE * self.crowbar_energy_fj
+            + _E_WORDLINE_SHARE_FJ
+        )
+
+    # ------------------------------------------------------------------ #
+    # calibration diagnostics
+    # ------------------------------------------------------------------ #
+    @property
+    def write_asymmetry(self) -> float:
+        """``E_wr1 / E_wr0`` — the paper's abstract quotes ~10x."""
+        return self.e_wr1_fj / self.e_wr0_fj
+
+    @property
+    def delta_balance(self) -> float:
+        """``(E_rd0 - E_rd1) / (E_wr1 - E_wr0)`` — paper says "quite close" to 1."""
+        return (self.e_rd0_fj - self.e_rd1_fj) / (self.e_wr1_fj - self.e_wr0_fj)
+
+    def summary(self) -> dict[str, float]:
+        """All four energies plus calibration diagnostics, as a dict."""
+        return {
+            "e_rd0_fj": self.e_rd0_fj,
+            "e_rd1_fj": self.e_rd1_fj,
+            "e_wr0_fj": self.e_wr0_fj,
+            "e_wr1_fj": self.e_wr1_fj,
+            "write_asymmetry": self.write_asymmetry,
+            "delta_balance": self.delta_balance,
+            "bitline_capacitance_ff": self.bitline_capacitance_ff,
+            "vdd": self.vdd,
+        }

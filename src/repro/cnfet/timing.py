@@ -1,0 +1,148 @@
+"""CNFET SRAM access-timing model.
+
+The paper's Fig. 1 discussion makes a timing claim this module
+reconstructs: the adaptive encoder is "essentially a series of inverters
+with 2-to-1 multiplexers" whose "simple structure has negligible influence
+on the timing of the critical data path".
+
+The model composes an RC delay chain from the same device parameters the
+energy model uses:
+
+* row decoder (a few gate stages driving the wordline),
+* wordline rise across the row,
+* bitline discharge through access + pull-down transistors (the dominant
+  term; reading a '0' must discharge the full bitline),
+* sense/output stage,
+* and, for encoded schemes, the inverter + 2-to-1 mux of the codec plus
+  (on writes) the direction-bit lookup that selects it.
+
+All delays in picoseconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.cnfet.device import CNFETDevice
+from repro.cnfet.sram import Sram6TCell
+
+#: ln(2): RC-to-50%-swing conversion for a single pole.
+_LN2 = math.log(2.0)
+
+#: Effective fan-out-of-4 inverter delay multiplier for logic stages.
+_FO4_STAGES_DECODER = 4.0
+_FO4_STAGES_SENSE = 2.0
+
+#: Stage count of the encoder datapath: one inverter + one 2-to-1 mux.
+_FO4_STAGES_ENCODER = 1.6
+
+#: Wire RC of the wordline across one cell pitch, ps (tiny, additive).
+_WORDLINE_PS_PER_CELL = 0.012
+
+
+class TimingModelError(ValueError):
+    """Raised on invalid timing-model arguments."""
+
+
+@dataclass(frozen=True)
+class AccessTiming:
+    """Breakdown of one SRAM access's latency, ps."""
+
+    decoder_ps: float
+    wordline_ps: float
+    bitline_ps: float
+    sense_ps: float
+    encoder_ps: float = 0.0
+
+    @property
+    def total_ps(self) -> float:
+        """End-to-end access latency."""
+        return (
+            self.decoder_ps
+            + self.wordline_ps
+            + self.bitline_ps
+            + self.sense_ps
+            + self.encoder_ps
+        )
+
+    @property
+    def encoder_overhead(self) -> float:
+        """Encoder share of the total latency (the paper: 'negligible')."""
+        total = self.total_ps
+        return self.encoder_ps / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat view for tables."""
+        return {
+            "decoder_ps": self.decoder_ps,
+            "wordline_ps": self.wordline_ps,
+            "bitline_ps": self.bitline_ps,
+            "sense_ps": self.sense_ps,
+            "encoder_ps": self.encoder_ps,
+            "total_ps": self.total_ps,
+            "encoder_overhead": self.encoder_overhead,
+        }
+
+
+@dataclass(frozen=True)
+class SramTimingModel:
+    """RC timing of a subarray built from one cell design."""
+
+    cell: Sram6TCell = field(default_factory=Sram6TCell)
+
+    def _fo4_ps(self) -> float:
+        """Fan-out-of-4 delay of the technology's reference inverter."""
+        reference = CNFETDevice(n_tubes=4, vdd=self.cell.vdd)
+        load_ff = 4.0 * reference.gate_capacitance_ff
+        resistance_kohm = reference.effective_resistance_kohm
+        # kOhm x fF = ps.
+        return _LN2 * resistance_kohm * load_ff
+
+    @property
+    def decoder_ps(self) -> float:
+        """Row-decoder delay (gate stages scaling with row count)."""
+        rows = self.cell.geometry.rows
+        stages = _FO4_STAGES_DECODER + math.log2(rows) / 2.0
+        return stages * self._fo4_ps()
+
+    @property
+    def wordline_ps(self) -> float:
+        """Wordline flight time across the row."""
+        return self.cell.geometry.cols * _WORDLINE_PS_PER_CELL
+
+    @property
+    def bitline_ps(self) -> float:
+        """Bitline discharge through access + pull-down (read-0 path)."""
+        path_kohm = (
+            self.cell.access.effective_resistance_kohm
+            + self.cell.pull_down.effective_resistance_kohm
+        )
+        return _LN2 * path_kohm * self.cell.bitline_capacitance_ff
+
+    @property
+    def sense_ps(self) -> float:
+        """Sense/output stage."""
+        return _FO4_STAGES_SENSE * self._fo4_ps()
+
+    @property
+    def encoder_ps(self) -> float:
+        """Inverter + 2-to-1 mux of the adaptive encoding datapath."""
+        return _FO4_STAGES_ENCODER * self._fo4_ps()
+
+    def access(self, encoded: bool = False) -> AccessTiming:
+        """Latency breakdown of one access, with or without the encoder."""
+        return AccessTiming(
+            decoder_ps=self.decoder_ps,
+            wordline_ps=self.wordline_ps,
+            bitline_ps=self.bitline_ps,
+            sense_ps=self.sense_ps,
+            encoder_ps=self.encoder_ps if encoded else 0.0,
+        )
+
+    def max_frequency_ghz(self, encoded: bool = False, margin: float = 0.3) -> float:
+        """Cycle-limited frequency with a pipeline/setup margin."""
+        if not 0.0 <= margin < 1.0:
+            raise TimingModelError(f"margin must be in [0, 1), got {margin}")
+        total_ps = self.access(encoded).total_ps / (1.0 - margin)
+        return 1000.0 / total_ps

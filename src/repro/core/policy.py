@@ -1,0 +1,266 @@
+"""Encoding policies: *when* direction bits change.
+
+The codec (:mod:`repro.encoding`) fixes what transforms are possible; a
+policy decides which direction word a line uses at fill time, at demand
+writes, and — for the adaptive schemes — at window boundaries through the
+Algorithm 1 predictor.
+
+The scheme zoo doubles as the paper's baseline set:
+
+========================  ===================================================
+``BaselinePolicy``        unencoded CNFET cache (identity codec)
+``StaticInvertPolicy``    every line stored complemented
+``FillGreedyPolicy``      greedy write-preferred directions chosen at fill
+``DBIPolicy``             classic per-word data-bus inversion at write time
+``AdaptivePolicy``        CNT-Cache (whole-line when K=1, partitioned K>1)
+========================  ===================================================
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.cnfet.energy import BitEnergyModel
+from repro.core.config import CNTCacheConfig, ConfigError
+from repro.encoding import (
+    FullLineInvertCodec,
+    IdentityCodec,
+    PartitionedInvertCodec,
+    WordDBICodec,
+)
+from repro.encoding.base import DirectionWord, LineCodec
+from repro.predictor.predictor import EncodingDirectionPredictor, PredictionOutcome
+
+
+class EncodingPolicy(abc.ABC):
+    """Direction-choice strategy bound to one codec instance."""
+
+    name: str = "abstract"
+    #: True when lines must carry the A_num/Wr_num window counters.
+    uses_history: bool = False
+
+    def __init__(self, codec: LineCodec) -> None:
+        self.codec = codec
+
+    def initial_directions(self, logical: bytes) -> DirectionWord:
+        """Direction word for a line being filled (default: uninverted)."""
+        return self.codec.neutral_directions()
+
+    def write_directions(
+        self,
+        logical_after: bytes,
+        current: DirectionWord,
+        offset: int,
+        size: int,
+    ) -> DirectionWord:
+        """Direction word after a demand write (default: unchanged).
+
+        ``logical_after`` is the full line content *after* the write;
+        ``offset``/``size`` delimit the written slice.
+        """
+        return current
+
+    def window_outcome(
+        self, stored: bytes, directions: DirectionWord, wr_num: int
+    ) -> PredictionOutcome | None:
+        """Algorithm 1 decision at a window boundary (None = not adaptive)."""
+        return None
+
+
+class BaselinePolicy(EncodingPolicy):
+    """The unencoded CNFET cache the paper compares against."""
+
+    name = "baseline"
+
+    def __init__(self, line_size: int) -> None:
+        super().__init__(IdentityCodec(line_size))
+
+
+class StaticInvertPolicy(EncodingPolicy):
+    """Store every line complemented, unconditionally.
+
+    A strawman baseline: helps write-heavy, '1'-rich data and hurts
+    everything else — useful to show adaptivity (not inversion per se) is
+    what earns the savings.
+    """
+
+    name = "static-invert"
+
+    def __init__(self, line_size: int) -> None:
+        super().__init__(FullLineInvertCodec(line_size))
+
+    def initial_directions(self, logical: bytes) -> DirectionWord:
+        return (True,)
+
+
+class FillGreedyPolicy(EncodingPolicy):
+    """Greedy write-preferred directions chosen once per fill, then fixed.
+
+    One-shot optimisation: partitions are biased toward stored '0's (cheap
+    writes) using only the fill data, with no adaptation afterwards.
+    """
+
+    name = "fill-greedy"
+
+    def __init__(self, line_size: int, partitions: int) -> None:
+        super().__init__(PartitionedInvertCodec(line_size, partitions))
+
+    def initial_directions(self, logical: bytes) -> DirectionWord:
+        return self.codec.greedy_directions(logical, prefer_ones=False)
+
+
+class DBIPolicy(EncodingPolicy):
+    """Classic data-bus inversion: per-word flags re-chosen at write time.
+
+    Each fully rewritten word re-votes its inversion flag to minimise the
+    '1' bits *written* (writes prefer stored '0's).  Partially overwritten
+    words keep their flag — flipping it would force a read-modify-write of
+    the untouched bytes.
+    """
+
+    name = "dbi"
+
+    def __init__(self, line_size: int, word_bytes: int = 4) -> None:
+        super().__init__(WordDBICodec(line_size, word_bytes))
+
+    def initial_directions(self, logical: bytes) -> DirectionWord:
+        return self.codec.greedy_directions(logical, prefer_ones=False)
+
+    def write_directions(
+        self,
+        logical_after: bytes,
+        current: DirectionWord,
+        offset: int,
+        size: int,
+    ) -> DirectionWord:
+        word = self.codec.partition_bytes
+        first_full = (offset + word - 1) // word
+        last_full = (offset + size) // word  # exclusive
+        if first_full >= last_full:
+            return current
+        greedy = self.codec.greedy_directions(logical_after, prefer_ones=False)
+        updated = list(current)
+        for index in range(first_full, last_full):
+            updated[index] = greedy[index]
+        return tuple(updated)
+
+
+class AdaptivePolicy(EncodingPolicy):
+    """CNT-Cache proper: windowed Algorithm 1 prediction per partition.
+
+    ``partitions = 1`` gives the paper's whole-line "baseline encoding
+    approach"; larger K gives the fine-grained partitioned encoder.
+    """
+
+    name = "cnt"
+    uses_history = True
+
+    def __init__(
+        self,
+        line_size: int,
+        partitions: int,
+        window: int,
+        model: BitEnergyModel,
+        delta_t: float = 0.0,
+        fill_policy: str = "read-greedy",
+    ) -> None:
+        if partitions == 1:
+            codec: LineCodec = FullLineInvertCodec(line_size)
+        else:
+            codec = PartitionedInvertCodec(line_size, partitions)
+        super().__init__(codec)
+        self.predictor = EncodingDirectionPredictor(
+            codec, window, model, delta_t=delta_t
+        )
+        self.window = window
+        if fill_policy not in ("neutral", "read-greedy", "write-greedy"):
+            raise ConfigError(f"unknown fill_policy {fill_policy!r}")
+        self.fill_policy = fill_policy
+
+    def initial_directions(self, logical: bytes) -> DirectionWord:
+        if self.fill_policy == "neutral":
+            return self.codec.neutral_directions()
+        prefer_ones = self.fill_policy == "read-greedy"
+        return self.codec.greedy_directions(logical, prefer_ones=prefer_ones)
+
+    def window_outcome(
+        self, stored: bytes, directions: DirectionWord, wr_num: int
+    ) -> PredictionOutcome | None:
+        return self.predictor.predict(stored, directions, wr_num)
+
+
+class QuantizedAdaptivePolicy(AdaptivePolicy):
+    """CNT-Cache with a 2-bit write-intensity counter (extension study).
+
+    The exact per-line ``Wr_num`` counter of Algorithm 1 costs
+    ``ceil(log2 W)`` bits; real designs would prefer a small saturating
+    counter.  This policy models that information loss: the window's write
+    count is quantised to four levels before it indexes the threshold
+    table, exactly as if only a 2-bit counter had observed the window.
+    """
+
+    name = "cnt-quant"
+
+    def _quantize(self, wr_num: int) -> int:
+        """Map an exact write count to its 2-bit bucket's representative."""
+        window = self.window
+        bucket = min(4 * wr_num // window, 3)
+        # Bucket midpoints: W/8, 3W/8, 5W/8, 7W/8 (rounded).
+        return min(round((2 * bucket + 1) * window / 8), window)
+
+    def window_outcome(self, stored, directions, wr_num):
+        return super().window_outcome(
+            stored, directions, self._quantize(wr_num)
+        )
+
+
+def make_policy(config: CNTCacheConfig) -> EncodingPolicy:
+    """Build the policy selected by ``config.scheme``."""
+    scheme = config.scheme
+    if scheme == "baseline":
+        return BaselinePolicy(config.line_size)
+    if scheme == "static-invert":
+        return StaticInvertPolicy(config.line_size)
+    if scheme == "fill-greedy":
+        return FillGreedyPolicy(config.line_size, config.partitions)
+    if scheme == "dbi":
+        return DBIPolicy(config.line_size, config.dbi_word_bytes)
+    if scheme == "invert":
+        return AdaptivePolicy(
+            config.line_size,
+            partitions=1,
+            window=config.window,
+            model=config.energy,
+            delta_t=config.delta_t,
+            fill_policy=config.fill_policy,
+        )
+    if scheme == "cnt":
+        return AdaptivePolicy(
+            config.line_size,
+            partitions=config.partitions,
+            window=config.window,
+            model=config.energy,
+            delta_t=config.delta_t,
+            fill_policy=config.fill_policy,
+        )
+    if scheme == "cnt-quant":
+        return QuantizedAdaptivePolicy(
+            config.line_size,
+            partitions=config.partitions,
+            window=config.window,
+            model=config.energy,
+            delta_t=config.delta_t,
+            fill_policy=config.fill_policy,
+        )
+    if scheme == "cnt-shared":
+        # Same algorithm as cnt; the per-set history plumbing lives in
+        # the engine (CNTCache), keyed off config.shared_history.
+        return AdaptivePolicy(
+            config.line_size,
+            partitions=config.partitions,
+            window=config.window,
+            model=config.energy,
+            delta_t=config.delta_t,
+            fill_policy=config.fill_policy,
+        )
+    raise ConfigError(f"unknown scheme {scheme!r}")

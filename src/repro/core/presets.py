@@ -1,0 +1,78 @@
+"""Named configuration presets.
+
+Shortcuts for the configurations the experiments use repeatedly, so user
+code and notebooks can say ``preset("paper")`` instead of re-typing the
+geometry.  Every preset is an ordinary :class:`CNTCacheConfig`; use
+``.variant(...)`` to tweak from there.
+"""
+
+from __future__ import annotations
+
+from repro.cnfet.leakage import LeakageModel
+from repro.core.config import CNTCacheConfig, ConfigError
+
+
+def _paper() -> CNTCacheConfig:
+    """The paper's evaluated design: 32 KiB L1 D-Cache, W=16, K=8."""
+    return CNTCacheConfig()
+
+
+def _paper_baseline() -> CNTCacheConfig:
+    """The unencoded CNFET cache the paper compares against."""
+    return CNTCacheConfig(scheme="baseline")
+
+
+def _whole_line() -> CNTCacheConfig:
+    """The paper's 'baseline encoding approach': whole-line inversion."""
+    return CNTCacheConfig(scheme="invert")
+
+
+def _low_power() -> CNTCacheConfig:
+    """Aggressively cheap variant: small window, quantised counter."""
+    return CNTCacheConfig(scheme="cnt-quant", window=8, partitions=8)
+
+
+def _embedded() -> CNTCacheConfig:
+    """A small embedded L1: 8 KiB 2-way, write-through, no-allocate."""
+    return CNTCacheConfig(
+        size=8 * 1024, assoc=2, write_policy="wt-nwa", window=8
+    )
+
+
+def _l2() -> CNTCacheConfig:
+    """A 256 KiB 8-way L2 (see the F11 extension experiment)."""
+    return CNTCacheConfig(
+        size=256 * 1024, assoc=8, fill_policy="write-greedy"
+    )
+
+
+def _total_power() -> CNTCacheConfig:
+    """The paper config plus CNFET static-energy accounting (A9)."""
+    return CNTCacheConfig(leakage=LeakageModel.cnfet())
+
+
+_PRESETS = {
+    "paper": _paper,
+    "paper-baseline": _paper_baseline,
+    "whole-line": _whole_line,
+    "low-power": _low_power,
+    "embedded": _embedded,
+    "l2": _l2,
+    "total-power": _total_power,
+}
+
+
+def preset_names() -> list[str]:
+    """All available preset names, sorted."""
+    return sorted(_PRESETS)
+
+
+def preset(name: str) -> CNTCacheConfig:
+    """Build a named preset configuration."""
+    try:
+        factory = _PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown preset {name!r}; known: {preset_names()}"
+        ) from None
+    return factory()

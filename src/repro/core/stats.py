@@ -1,0 +1,160 @@
+"""Energy and event accounting for a simulated cache run.
+
+All energies are femtojoules of *dynamic* energy in the L1 data array and
+its H&D metadata columns, which is exactly the quantity the paper's 22.2%
+claim is about.  The breakdown mirrors the architecture: demand reads,
+demand writes, fills, writebacks, metadata traffic, deferred re-encode
+writes and the encoder/predictor logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+class StatsError(ValueError):
+    """Raised on invalid stats operations."""
+
+
+#: Names of the energy components, in reporting order.
+ENERGY_COMPONENTS = (
+    "data_read_fj",
+    "data_write_fj",
+    "fill_fj",
+    "writeback_fj",
+    "metadata_read_fj",
+    "metadata_write_fj",
+    "reencode_fj",
+    "logic_fj",
+    "peripheral_fj",
+    "leakage_fj",
+)
+
+
+@dataclass
+class EnergyStats:
+    """Counters and energy accumulators of one simulation."""
+
+    # events
+    accesses: int = 0
+    reads: int = 0
+    writes: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    windows_completed: int = 0
+    direction_switches: int = 0
+    partition_flips: int = 0
+    pending_dropped: int = 0
+    forced_drains: int = 0
+
+    # energy, femtojoules
+    data_read_fj: float = 0.0
+    data_write_fj: float = 0.0
+    fill_fj: float = 0.0
+    writeback_fj: float = 0.0
+    metadata_read_fj: float = 0.0
+    metadata_write_fj: float = 0.0
+    reencode_fj: float = 0.0
+    logic_fj: float = 0.0
+    peripheral_fj: float = 0.0
+    leakage_fj: float = 0.0
+
+    extra: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # derived
+    # ------------------------------------------------------------------ #
+    @property
+    def total_fj(self) -> float:
+        """Total dynamic energy, fJ (the paper's reported metric)."""
+        return sum(getattr(self, name) for name in ENERGY_COMPONENTS)
+
+    @property
+    def data_fj(self) -> float:
+        """Data-array-only energy (no metadata/logic), fJ."""
+        return (
+            self.data_read_fj
+            + self.data_write_fj
+            + self.fill_fj
+            + self.writeback_fj
+            + self.reencode_fj
+        )
+
+    @property
+    def overhead_fj(self) -> float:
+        """Scheme overhead energy (metadata traffic + logic), fJ."""
+        return self.metadata_read_fj + self.metadata_write_fj + self.logic_fj
+
+    @property
+    def hit_rate(self) -> float:
+        """Demand hit rate."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def energy_per_access_fj(self) -> float:
+        """Average dynamic energy per demand access, fJ."""
+        if self.accesses == 0:
+            return 0.0
+        return self.total_fj / self.accesses
+
+    def savings_vs(self, baseline: "EnergyStats") -> float:
+        """Fractional energy saving relative to ``baseline`` (0.222 = 22.2%)."""
+        if baseline.total_fj <= 0:
+            raise StatsError("baseline has no energy to compare against")
+        return 1.0 - self.total_fj / baseline.total_fj
+
+    # ------------------------------------------------------------------ #
+    # combination / export
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "EnergyStats") -> "EnergyStats":
+        merged = EnergyStats()
+        for spec in fields(EnergyStats):
+            if spec.name == "extra":
+                continue
+            setattr(
+                merged,
+                spec.name,
+                getattr(self, spec.name) + getattr(other, spec.name),
+            )
+        for key in set(self.extra) | set(other.extra):
+            merged.extra[key] = self.extra.get(key, 0.0) + other.extra.get(key, 0.0)
+        return merged
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Flat-dict view (counters + energies + derived)."""
+        out: dict[str, float | int] = {
+            spec.name: getattr(self, spec.name)
+            for spec in fields(EnergyStats)
+            if spec.name != "extra"
+        }
+        out["total_fj"] = self.total_fj
+        out["data_fj"] = self.data_fj
+        out["overhead_fj"] = self.overhead_fj
+        out["hit_rate"] = self.hit_rate
+        out["energy_per_access_fj"] = self.energy_per_access_fj
+        out.update(self.extra)
+        return out
+
+    def report(self) -> str:
+        """Multi-line human-readable breakdown."""
+        lines = [
+            f"accesses          {self.accesses:>12}",
+            f"  reads/writes    {self.reads:>12} / {self.writes}",
+            f"  hit rate        {self.hit_rate:>12.4f}",
+            f"  evictions/wb    {self.evictions:>12} / {self.writebacks}",
+            f"windows completed {self.windows_completed:>12}",
+            f"direction switches{self.direction_switches:>12}"
+            f" ({self.partition_flips} partition flips)",
+            "energy (fJ):",
+        ]
+        for name in ENERGY_COMPONENTS:
+            lines.append(f"  {name:<18} {getattr(self, name):>16.1f}")
+        lines.append(f"  {'total_fj':<18} {self.total_fj:>16.1f}")
+        lines.append(
+            f"  per access        {self.energy_per_access_fj:>16.2f}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""The deferred-update data/index FIFOs of Fig. 1.
+
+When the predictor decides to switch a line's encoding direction, the
+re-encoded data is not written immediately — that would steal a cycle from
+the demand write path.  Instead the paper enqueues the update into a data
+FIFO (the re-encoded line) paired with an index FIFO (which line to update)
+and drains them "when there is an idle time slot".
+
+In this trace-driven model an idle slot is provisioned after every demand
+access (``drain_per_access`` entries per access, default 1).  If the FIFO is
+full when a new update arrives, the oldest entry is drained immediately —
+modelling a stall — and counted in ``forced_drains``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.encoding.base import DirectionWord
+
+
+class QueueError(ValueError):
+    """Raised on invalid queue construction."""
+
+
+@dataclass(frozen=True)
+class PendingUpdate:
+    """One queued re-encode: which line, and its new direction word.
+
+    The *index FIFO* entry is ``(set_index, way, tag)``; the *data FIFO*
+    entry is represented by ``new_directions`` — the stored bytes are
+    re-derived at drain time from the line's (logical) contents, which also
+    makes a demand write racing the queued update harmless.
+    """
+
+    set_index: int
+    way: int
+    tag: int
+    new_directions: DirectionWord
+
+
+class UpdateQueue:
+    """Bounded FIFO of pending re-encodes."""
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise QueueError(f"depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._entries: deque[PendingUpdate] = deque()
+        self.enqueued = 0
+        self.forced = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        """True when another push would force a drain."""
+        return len(self._entries) >= self.depth
+
+    def push(self, update: PendingUpdate) -> PendingUpdate | None:
+        """Enqueue; returns a forced-out entry if the FIFO was full."""
+        forced_out = None
+        if self.full:
+            forced_out = self._entries.popleft()
+            self.forced += 1
+        self._entries.append(update)
+        self.enqueued += 1
+        return forced_out
+
+    def pop(self) -> PendingUpdate | None:
+        """Dequeue the oldest pending update, if any."""
+        if self._entries:
+            return self._entries.popleft()
+        return None
+
+    def discard_line(self, set_index: int, way: int) -> int:
+        """Drop pending updates for a line (it was evicted); returns count."""
+        before = len(self._entries)
+        self._entries = deque(
+            entry
+            for entry in self._entries
+            if not (entry.set_index == set_index and entry.way == way)
+        )
+        return before - len(self._entries)
+
+    def drain_all(self) -> list[PendingUpdate]:
+        """Empty the queue (end of simulation)."""
+        out = list(self._entries)
+        self._entries.clear()
+        return out

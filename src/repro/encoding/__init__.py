@@ -1,0 +1,47 @@
+"""Cache-line data codecs for CNT-Cache.
+
+The adaptive encoding module of the paper is "essentially a series of
+inverters with 2-to-1 multiplexers": every codec here is an involutive
+XOR-mask transform controlled by a *direction word* (one bit per partition).
+
+* :class:`~repro.encoding.identity.IdentityCodec` — the baseline CNFET cache
+  (no encoding, zero direction bits).
+* :class:`~repro.encoding.invert.FullLineInvertCodec` — whole-line inversion
+  (the paper's "baseline encoding approach", one direction bit).
+* :class:`~repro.encoding.partitioned.PartitionedInvertCodec` — the paper's
+  fine-grained partitioned encoding (``K`` direction bits).
+* :class:`~repro.encoding.dbi.WordDBICodec` — classic per-word data-bus
+  inversion used as a comparison baseline.
+"""
+
+from repro.encoding.base import CodecError, DirectionWord, LineCodec
+from repro.encoding.bits import (
+    count_ones,
+    count_zeros,
+    invert_bytes,
+    join_partitions,
+    ones_per_partition,
+    popcount,
+    split_partitions,
+)
+from repro.encoding.dbi import WordDBICodec
+from repro.encoding.identity import IdentityCodec
+from repro.encoding.invert import FullLineInvertCodec
+from repro.encoding.partitioned import PartitionedInvertCodec
+
+__all__ = [
+    "LineCodec",
+    "DirectionWord",
+    "CodecError",
+    "IdentityCodec",
+    "FullLineInvertCodec",
+    "PartitionedInvertCodec",
+    "WordDBICodec",
+    "popcount",
+    "count_ones",
+    "count_zeros",
+    "invert_bytes",
+    "split_partitions",
+    "join_partitions",
+    "ones_per_partition",
+]

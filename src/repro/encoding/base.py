@@ -1,0 +1,129 @@
+"""Abstract interface for cache-line codecs.
+
+A codec defines *how* a line may be transformed (how many independent
+partitions, therefore how many direction bits the line must carry).  *When*
+directions change is the policy/predictor's job (:mod:`repro.predictor`),
+mirroring the paper's split between the mux-tree datapath and the
+encoding-direction predictor.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.encoding import bits
+
+#: One boolean per partition: True = that partition is stored inverted.
+DirectionWord = tuple[bool, ...]
+
+
+class CodecError(ValueError):
+    """Raised on codec misuse (wrong direction width, bad line size)."""
+
+
+class LineCodec(abc.ABC):
+    """Involutive per-partition inversion codec for one cache-line size.
+
+    Subclasses fix the partition structure; the transform itself is always
+    "invert the partitions whose direction flag is set", matching the
+    inverter + 2-to-1-mux datapath of the paper's Fig. 1.
+    """
+
+    #: Human-readable codec name used in reports.
+    name: str = "abstract"
+
+    def __init__(self, line_size: int) -> None:
+        if line_size < 1:
+            raise CodecError(f"line_size must be >= 1 byte, got {line_size}")
+        self.line_size = line_size
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    @property
+    @abc.abstractmethod
+    def n_partitions(self) -> int:
+        """Number of independently invertible partitions."""
+
+    @property
+    def direction_bits(self) -> int:
+        """Direction metadata bits each line must carry (defaults to K)."""
+        return self.n_partitions
+
+    @property
+    def partition_bytes(self) -> int:
+        """Width of one partition in bytes."""
+        return self.line_size // self.n_partitions
+
+    @property
+    def partition_bits(self) -> int:
+        """Width of one partition in bits (the ``L`` of Eq. 4-6 per partition)."""
+        return self.partition_bytes * 8
+
+    def neutral_directions(self) -> DirectionWord:
+        """The all-uninverted direction word lines start with."""
+        return (False,) * self.n_partitions
+
+    # ------------------------------------------------------------------ #
+    # datapath
+    # ------------------------------------------------------------------ #
+    def apply(self, data: bytes, directions: DirectionWord) -> bytes:
+        """Encode *or* decode ``data`` (the transform is an involution)."""
+        self._check(data, directions)
+        return bits.apply_directions(data, directions)
+
+    def encode(self, logical: bytes, directions: DirectionWord) -> bytes:
+        """Logical (program-visible) bytes -> stored (array) bytes."""
+        return self.apply(logical, directions)
+
+    def decode(self, stored: bytes, directions: DirectionWord) -> bytes:
+        """Stored (array) bytes -> logical (program-visible) bytes."""
+        return self.apply(stored, directions)
+
+    # ------------------------------------------------------------------ #
+    # analysis helpers
+    # ------------------------------------------------------------------ #
+    def ones_per_partition(self, data: bytes) -> list[int]:
+        """Per-partition 1-bit populations (input to the predictor)."""
+        if len(data) != self.line_size:
+            raise CodecError(
+                f"expected {self.line_size}-byte line, got {len(data)} bytes"
+            )
+        return bits.ones_per_partition(data, self.n_partitions)
+
+    def greedy_directions(self, logical: bytes, prefer_ones: bool) -> DirectionWord:
+        """Direction word that maximises the preferred bit value per partition.
+
+        Used by static baselines, fill policies and the oracle bound: for
+        each partition choose inversion iff it increases the population of
+        the preferred value.  Ties keep the partition uninverted.
+        """
+        if len(logical) != self.line_size:
+            raise CodecError(
+                f"expected {self.line_size}-byte line, got {len(logical)} bytes"
+            )
+        half = self.partition_bits / 2
+        ones = bits.ones_per_partition(logical, self.n_partitions)
+        if prefer_ones:
+            return tuple(count < half for count in ones)
+        return tuple(count > half for count in ones)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _check(self, data: bytes, directions: DirectionWord) -> None:
+        if len(data) != self.line_size:
+            raise CodecError(
+                f"expected {self.line_size}-byte line, got {len(data)} bytes"
+            )
+        if len(directions) != self.n_partitions:
+            raise CodecError(
+                f"expected {self.n_partitions} direction bits, "
+                f"got {len(directions)}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(line_size={self.line_size}, "
+            f"partitions={self.n_partitions})"
+        )

@@ -1,0 +1,136 @@
+"""Bit-level utilities shared by codecs, predictor and energy accounting.
+
+Cache-line payloads are represented as immutable ``bytes``; bit populations
+are computed through Python's arbitrary-precision integers, whose
+``int.bit_count`` is a single C-level popcount — fast enough to stream
+hundreds of millions of trace bits through pure Python.
+"""
+
+from __future__ import annotations
+
+_INVERT_TABLE = bytes(0xFF ^ value for value in range(256))
+
+
+class BitUtilError(ValueError):
+    """Raised on malformed bit-utility arguments."""
+
+
+def popcount(data: bytes) -> int:
+    """Number of '1' bits in ``data`` (the paper's ``getNumOfBit1``)."""
+    return int.from_bytes(data, "little").bit_count()
+
+
+def count_ones(data: bytes) -> int:
+    """Alias of :func:`popcount`, matching the paper's ``bit1num`` naming."""
+    return popcount(data)
+
+
+def count_zeros(data: bytes) -> int:
+    """Number of '0' bits in ``data``."""
+    return len(data) * 8 - popcount(data)
+
+
+def invert_bytes(data: bytes) -> bytes:
+    """Bitwise complement of ``data`` (one inverter per bit, as in Fig. 1)."""
+    return data.translate(_INVERT_TABLE)
+
+
+def split_partitions(data: bytes, k: int) -> list[bytes]:
+    """Split a line into ``k`` equal byte-aligned partitions.
+
+    The paper's fine-grained encoder divides the line into K independent
+    partitions; we require K to divide the byte length so partitions stay
+    byte-aligned (which is also what a hardware mux tree would do).
+    """
+    if k < 1:
+        raise BitUtilError(f"partition count must be >= 1, got {k}")
+    if len(data) % k != 0:
+        raise BitUtilError(
+            f"line of {len(data)} bytes cannot be split into {k} equal partitions"
+        )
+    width = len(data) // k
+    return [data[i * width : (i + 1) * width] for i in range(k)]
+
+
+def join_partitions(parts: list[bytes]) -> bytes:
+    """Inverse of :func:`split_partitions`."""
+    return b"".join(parts)
+
+
+def ones_per_partition(data: bytes, k: int) -> list[int]:
+    """Per-partition '1' populations of a line."""
+    return [popcount(part) for part in split_partitions(data, k)]
+
+
+def xor_mask_for_directions(n_bytes: int, k: int, directions: tuple[bool, ...]) -> bytes:
+    """Build the XOR mask that inverts exactly the partitions flagged True."""
+    if len(directions) != k:
+        raise BitUtilError(
+            f"expected {k} direction bits, got {len(directions)}"
+        )
+    if n_bytes % k != 0:
+        raise BitUtilError(
+            f"line of {n_bytes} bytes cannot be split into {k} equal partitions"
+        )
+    width = n_bytes // k
+    return b"".join(
+        (b"\xff" if flag else b"\x00") * width for flag in directions
+    )
+
+
+def encoded_slice(
+    data: bytes, directions: tuple[bool, ...], offset: int, size: int
+) -> bytes:
+    """Stored-domain view of ``data[offset:offset+size]``.
+
+    ``data`` is a full logical line; the returned bytes are what the array
+    physically holds for that slice under the given per-partition direction
+    word.  Used by the energy layer to meter demand accesses narrower than
+    a line without materialising the whole encoded line.
+    """
+    k = len(directions)
+    if k == 0:
+        return data[offset : offset + size]
+    if size < 1 or offset < 0 or offset + size > len(data):
+        raise BitUtilError(
+            f"slice [{offset}, +{size}) outside a {len(data)}-byte line"
+        )
+    if len(data) % k != 0:
+        raise BitUtilError(
+            f"line of {len(data)} bytes cannot be split into {k} equal partitions"
+        )
+    width = len(data) // k
+    out = bytearray()
+    position = offset
+    end = offset + size
+    while position < end:
+        partition = position // width
+        boundary = min(end, (partition + 1) * width)
+        chunk = data[position:boundary]
+        if directions[partition]:
+            chunk = invert_bytes(chunk)
+        out.extend(chunk)
+        position = boundary
+    return bytes(out)
+
+
+def apply_directions(data: bytes, directions: tuple[bool, ...]) -> bytes:
+    """Invert each partition of ``data`` whose direction flag is True.
+
+    This is the hardware datapath of Fig. 1: per-partition 2-to-1 muxes
+    selecting between a wire and an inverter.  The transform is an
+    involution — applying it twice restores the input.
+    """
+    k = len(directions)
+    if k == 0:
+        return data
+    if not any(directions):
+        return data
+    if all(directions):
+        return invert_bytes(data)
+    parts = split_partitions(data, k)
+    out = [
+        invert_bytes(part) if flag else part
+        for part, flag in zip(parts, directions)
+    ]
+    return join_partitions(out)

@@ -1,0 +1,36 @@
+"""Per-word data-bus-inversion (DBI) codec.
+
+DBI is the classic write-time inversion scheme from bus/DRAM interfaces:
+each machine word carries an inversion flag chosen *at write time* by
+majority vote, with no access-history prediction.  It serves as the
+"obvious prior art" baseline the adaptive CNT-Cache is compared against:
+DBI can only optimise for one operation kind (its flag is fixed at write
+time), whereas CNT-Cache re-decides per access-pattern window.
+"""
+
+from __future__ import annotations
+
+from repro.encoding.base import CodecError
+from repro.encoding.partitioned import PartitionedInvertCodec
+
+
+class WordDBICodec(PartitionedInvertCodec):
+    """Partitioned codec whose partition width is one machine word.
+
+    Mechanically identical to :class:`PartitionedInvertCodec` with
+    ``K = line_size / word_bytes``; the behavioural difference (directions
+    re-chosen greedily on every write instead of by the windowed predictor)
+    lives in :class:`repro.core.policy.DBIPolicy`.
+    """
+
+    name = "dbi"
+
+    def __init__(self, line_size: int, word_bytes: int = 4) -> None:
+        if word_bytes < 1:
+            raise CodecError(f"word_bytes must be >= 1, got {word_bytes}")
+        if line_size % word_bytes != 0:
+            raise CodecError(
+                f"word size {word_bytes} does not divide line size {line_size}"
+            )
+        super().__init__(line_size, line_size // word_bytes)
+        self.word_bytes = word_bytes

@@ -1,0 +1,39 @@
+"""Identity codec — the unencoded baseline CNFET cache."""
+
+from __future__ import annotations
+
+from repro.encoding.base import CodecError, DirectionWord, LineCodec
+
+
+class IdentityCodec(LineCodec):
+    """Stores data exactly as presented; carries no direction metadata.
+
+    This models the paper's *baseline CNFET cache* against which the 22.2%
+    average dynamic-power reduction is reported.
+    """
+
+    name = "baseline"
+
+    @property
+    def n_partitions(self) -> int:
+        return 1
+
+    @property
+    def direction_bits(self) -> int:
+        return 0
+
+    def neutral_directions(self) -> DirectionWord:
+        return (False,)
+
+    def apply(self, data: bytes, directions: DirectionWord) -> bytes:
+        self._check(data, directions)
+        if any(directions):
+            raise CodecError("IdentityCodec cannot invert data")
+        return data
+
+    def greedy_directions(self, logical: bytes, prefer_ones: bool) -> DirectionWord:
+        if len(logical) != self.line_size:
+            raise CodecError(
+                f"expected {self.line_size}-byte line, got {len(logical)} bytes"
+            )
+        return (False,)

@@ -1,0 +1,21 @@
+"""Whole-line inversion codec — the paper's baseline encoding approach."""
+
+from __future__ import annotations
+
+from repro.encoding.base import LineCodec
+
+
+class FullLineInvertCodec(LineCodec):
+    """One direction bit for the whole line.
+
+    Section III-B calls this "the baseline encoding approach": when the data
+    does not match the line's operation preference, the *entire* line is
+    inverted.  Its weakness — it also inverts partitions that were already
+    favourable — is exactly what the partitioned codec fixes.
+    """
+
+    name = "invert"
+
+    @property
+    def n_partitions(self) -> int:
+        return 1

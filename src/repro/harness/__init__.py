@@ -1,0 +1,34 @@
+"""Experiment harness: runners, sweeps, tables and the experiment registry.
+
+Entry points:
+
+* :func:`~repro.harness.runner.replay` — one trace through one config.
+* :func:`~repro.harness.runner.compare_schemes` — scheme shoot-out on one
+  workload.
+* :func:`~repro.harness.runner.run_suite` — the full benchmark matrix.
+* :mod:`~repro.harness.experiments` — every paper table/figure by id
+  (``t1``, ``f3``, ...); also runnable via ``python -m repro.harness.cli``.
+"""
+
+from repro.harness.oracle import oracle_bound
+from repro.harness.runner import (
+    RunResult,
+    compare_schemes,
+    replay,
+    run_suite,
+    run_workload,
+)
+from repro.harness.sweep import sweep_configs
+from repro.harness.tables import render_markdown, render_table
+
+__all__ = [
+    "replay",
+    "run_workload",
+    "compare_schemes",
+    "run_suite",
+    "RunResult",
+    "oracle_bound",
+    "sweep_configs",
+    "render_table",
+    "render_markdown",
+]

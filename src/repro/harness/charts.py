@@ -1,0 +1,114 @@
+"""Terminal charts for figure experiments.
+
+The paper's figures are bar/line charts; these helpers render equivalent
+ASCII views so ``cntcache f3`` shows the *shape* directly in a terminal,
+not just the numbers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+class ChartError(ValueError):
+    """Raised on malformed chart inputs."""
+
+#: Eighth-block characters for sub-cell bar resolution.
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """A horizontal bar of ``value``/``scale`` of ``width`` cells."""
+    if scale <= 0:
+        return ""
+    cells = max(0.0, min(1.0, value / scale)) * width
+    full = int(cells)
+    remainder = int((cells - full) * 8)
+    bar = "█" * full
+    if remainder and full < width:
+        bar += _BLOCKS[remainder]
+    return bar
+
+
+def bar_chart(
+    items: Mapping[str, float] | Sequence[tuple[str, float]],
+    width: int = 40,
+    unit: str = "",
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart; negative values render mirrored with ``-``.
+
+    >>> print(bar_chart({"a": 2.0, "b": -1.0}, width=4))  # doctest: +SKIP
+    """
+    pairs = list(items.items()) if isinstance(items, Mapping) else list(items)
+    if not pairs:
+        raise ChartError("bar chart needs at least one item")
+    if width < 4:
+        raise ChartError(f"width must be >= 4, got {width}")
+    label_width = max(len(str(label)) for label, _ in pairs)
+    scale = max(abs(value) for _, value in pairs) or 1.0
+    lines = [] if title is None else [title]
+    for label, value in pairs:
+        if value >= 0:
+            bar = _bar(value, scale, width)
+        else:
+            bar = "-" + _bar(-value, scale, width)
+        lines.append(
+            f"{str(label):<{label_width}} │{bar:<{width + 1}} "
+            f"{value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def column_chart(
+    points: Mapping[float, float] | Sequence[tuple[float, float]],
+    height: int = 10,
+    title: str | None = None,
+    y_unit: str = "",
+) -> str:
+    """A column chart of an (x -> y) series, one labelled column per point."""
+    pairs = (
+        sorted(points.items())
+        if isinstance(points, Mapping)
+        else list(points)
+    )
+    if not pairs:
+        raise ChartError("column chart needs at least one point")
+    if height < 2:
+        raise ChartError(f"height must be >= 2, got {height}")
+    values = [value for _, value in pairs]
+    low = min(0.0, min(values))
+    high = max(0.0, max(values))
+    span = high - low or 1.0
+    x_labels = [f"{x:g}" for x, _ in pairs]
+    column_width = max(len(label) for label in x_labels)
+    filled_levels = [
+        round((value - low) / span * (height - 1)) for value in values
+    ]
+    lines = [] if title is None else [title]
+    for row in range(height - 1, -1, -1):
+        level_value = low + span * row / (height - 1)
+        cells = " ".join(
+            ("█" * column_width if filled >= row else " " * column_width)
+            for filled in filled_levels
+        )
+        lines.append(f"{level_value:>8.1f}{y_unit} │{cells}")
+    axis_width = len(pairs) * (column_width + 1) - 1
+    lines.append(" " * (9 + len(y_unit)) + "└" + "-" * axis_width)
+    lines.append(
+        " " * (10 + len(y_unit))
+        + " ".join(label.center(column_width) for label in x_labels)
+    )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of a series (eight vertical levels)."""
+    if not values:
+        raise ChartError("sparkline needs at least one value")
+    glyphs = "▁▂▃▄▅▆▇█"
+    low = min(values)
+    span = (max(values) - low) or 1.0
+    return "".join(
+        glyphs[min(7, int((value - low) / span * 8))] for value in values
+    )

@@ -1,0 +1,114 @@
+"""Command-line entry point: ``cntcache`` / ``python -m repro.harness.cli``.
+
+Examples::
+
+    cntcache list                 # available experiments and workloads
+    cntcache t1                   # render Table I
+    cntcache f3 --size default    # the main result at full problem size
+    cntcache all --size small     # every experiment
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.workloads.program import workload_names
+
+
+def write_report(path: str | Path, size: str, seed: int) -> Path:
+    """Run every experiment and write one self-contained markdown report."""
+    import repro
+
+    path = Path(path)
+    sections = [
+        "# CNT-Cache reproduction report",
+        "",
+        f"- package version: {repro.__version__}",
+        f"- workload size: `{size}`, seed: {seed}",
+        f"- regenerate: `python -m repro.harness.cli all --size {size} "
+        f"--seed {seed}`",
+        "",
+    ]
+    for experiment_id in sorted(EXPERIMENTS):
+        started = time.time()
+        result = run_experiment(experiment_id, size=size, seed=seed)
+        elapsed = time.time() - started
+        sections.append(f"## [{result.id}] {result.title}")
+        sections.append("")
+        sections.append("```")
+        sections.append(result.render())
+        sections.append("```")
+        sections.append(f"_({elapsed:.1f}s)_")
+        sections.append("")
+    path.write_text("\n".join(sections), encoding="utf-8")
+    return path
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cntcache",
+        description="CNT-Cache (DATE 2020) reproduction harness",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (t1, f3, ...), 'all', 'report', or 'list'",
+    )
+    parser.add_argument(
+        "--output",
+        default="report.md",
+        help="output path for the 'report' command (default: report.md)",
+    )
+    parser.add_argument(
+        "--size",
+        default="small",
+        choices=("tiny", "small", "default"),
+        help="workload problem size (default: small)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="workload seed (default: 7)"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI main; returns a process exit code."""
+    args = _parser().parse_args(argv)
+
+    if args.experiment == "list":
+        print("experiments:")
+        for experiment_id, function in sorted(EXPERIMENTS.items()):
+            doc = (function.__doc__ or "").strip().splitlines()[0]
+            print(f"  {experiment_id:4} {doc}")
+        print("workloads:")
+        for name in workload_names():
+            print(f"  {name}")
+        return 0
+
+    if args.experiment == "report":
+        path = write_report(args.output, size=args.size, seed=args.seed)
+        print(f"report written to {path}")
+        return 0
+
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if any(experiment_id not in EXPERIMENTS for experiment_id in ids):
+        print(
+            f"unknown experiment {args.experiment!r}; try 'list'",
+            file=sys.stderr,
+        )
+        return 2
+
+    for experiment_id in ids:
+        started = time.time()
+        result = run_experiment(experiment_id, size=args.size, seed=args.seed)
+        print(result.render())
+        print(f"  ({time.time() - started:.1f}s)")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""Trace replay and scheme comparison."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.cntcache import CNTCache
+from repro.core.config import CNTCacheConfig
+from repro.core.stats import EnergyStats
+from repro.trace.record import Access
+from repro.workloads.program import WorkloadRun
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One (workload, scheme) measurement."""
+
+    workload: str
+    scheme: str
+    config: CNTCacheConfig
+    stats: EnergyStats
+
+    @property
+    def total_fj(self) -> float:
+        """Total dynamic energy of the run, fJ."""
+        return self.stats.total_fj
+
+
+def replay(
+    config: CNTCacheConfig,
+    trace: Iterable[Access],
+    preloads: Iterable[tuple[int, bytes]] = (),
+) -> CNTCache:
+    """Replay a trace through a fresh cache; returns the simulator."""
+    sim = CNTCache(config)
+    sim.preload_all(preloads)
+    sim.run(trace)
+    return sim
+
+
+def run_workload(config: CNTCacheConfig, run: WorkloadRun) -> RunResult:
+    """Replay one workload run through one configuration."""
+    sim = replay(config, run.trace, run.preloads)
+    return RunResult(
+        workload=run.name,
+        scheme=config.scheme,
+        config=config,
+        stats=sim.stats,
+    )
+
+
+def compare_schemes(
+    run: WorkloadRun,
+    schemes: tuple[str, ...] = ("baseline", "invert", "cnt"),
+    base_config: CNTCacheConfig | None = None,
+) -> dict[str, RunResult]:
+    """Replay one workload under several schemes on identical traces."""
+    if base_config is None:
+        base_config = CNTCacheConfig()
+    return {
+        scheme: run_workload(base_config.variant(scheme=scheme), run)
+        for scheme in schemes
+    }
+
+
+def run_suite(
+    workloads: Iterable[str],
+    schemes: tuple[str, ...] = ("baseline", "invert", "cnt"),
+    size: str = "small",
+    seed: int = 7,
+    base_config: CNTCacheConfig | None = None,
+) -> dict[str, dict[str, RunResult]]:
+    """The full (workload x scheme) matrix.
+
+    Returns ``results[workload][scheme]``.  Every scheme replays the exact
+    same trace of each workload, so differences are purely the scheme's.
+    """
+    from repro.workloads.program import get_workload
+
+    results: dict[str, dict[str, RunResult]] = {}
+    for name in workloads:
+        run = get_workload(name).build(size, seed=seed)
+        results[name] = compare_schemes(run, schemes, base_config)
+    return results
+
+
+def savings_table(
+    results: dict[str, dict[str, RunResult]],
+    reference: str = "baseline",
+) -> dict[str, dict[str, float]]:
+    """Fractional savings of every scheme vs the reference, per workload."""
+    table: dict[str, dict[str, float]] = {}
+    for workload, by_scheme in results.items():
+        base = by_scheme[reference].stats
+        table[workload] = {
+            scheme: result.stats.savings_vs(base)
+            for scheme, result in by_scheme.items()
+            if scheme != reference
+        }
+    return table

@@ -1,0 +1,44 @@
+"""Parameter-sweep helpers for the sensitivity experiments."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Any
+
+from repro.core.config import CNTCacheConfig
+from repro.harness.runner import RunResult, run_workload
+from repro.workloads.program import WorkloadRun
+
+
+def sweep_configs(
+    base: CNTCacheConfig, parameter: str, values: Iterable[Any]
+) -> list[CNTCacheConfig]:
+    """One config per value of ``parameter`` (all else equal)."""
+    return [base.variant(**{parameter: value}) for value in values]
+
+
+def sweep_workload(
+    run: WorkloadRun,
+    base: CNTCacheConfig,
+    parameter: str,
+    values: Iterable[Any],
+) -> dict[Any, RunResult]:
+    """Replay one workload across a parameter sweep."""
+    return {
+        value: run_workload(base.variant(**{parameter: value}), run)
+        for value in values
+    }
+
+
+def average_savings(
+    runs: dict[str, WorkloadRun],
+    config: CNTCacheConfig,
+    reference_config: CNTCacheConfig,
+) -> float:
+    """Arithmetic-mean fractional saving of ``config`` over the workloads."""
+    total = 0.0
+    for run in runs.values():
+        measured = run_workload(config, run).stats
+        reference = run_workload(reference_config, run).stats
+        total += measured.savings_vs(reference)
+    return total / len(runs)

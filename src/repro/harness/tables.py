@@ -1,0 +1,84 @@
+"""Plain-text and markdown table rendering for experiment output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+class TableError(ValueError):
+    """Raised on malformed table inputs."""
+
+
+def _format_cell(value, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    floatfmt: str = ".2f",
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table (numbers right-aligned)."""
+    _check(headers, rows)
+    cells = [[_format_cell(value, floatfmt) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in cells))
+        if cells
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+
+    def fmt_row(values: Sequence[str], numeric: bool) -> str:
+        out = []
+        for col, value in enumerate(values):
+            if numeric and _looks_numeric(value):
+                out.append(value.rjust(widths[col]))
+            else:
+                out.append(value.ljust(widths[col]))
+        return "  ".join(out).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row([str(h) for h in headers], numeric=False))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(fmt_row(row, numeric=True) for row in cells)
+    return "\n".join(lines)
+
+
+def render_markdown(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    floatfmt: str = ".2f",
+) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    _check(headers, rows)
+    cells = [[_format_cell(value, floatfmt) for value in row] for row in rows]
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    lines.extend("| " + " | ".join(row) + " |" for row in cells)
+    return "\n".join(lines)
+
+
+def _looks_numeric(value: str) -> bool:
+    stripped = value.replace("%", "").replace("x", "")
+    try:
+        float(stripped)
+    except ValueError:
+        return False
+    return True
+
+
+def _check(headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    if not headers:
+        raise TableError("a table needs at least one column")
+    for index, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise TableError(
+                f"row {index} has {len(row)} cells, expected {len(headers)}"
+            )

@@ -1,0 +1,160 @@
+"""Trace toolbox CLI: ``cnttrace`` / ``python -m repro.harness.tracetools``.
+
+Subcommands::
+
+    cnttrace info   trace.txt[.gz]           # stats of any trace file
+    cnttrace convert in.txt out.cnttrace     # text <-> binary (by suffix)
+    cnttrace import-din in.din out.txt       # Dinero -> valued trace
+    cnttrace synth zipf out.txt -n 10000     # generate a synthetic trace
+    cnttrace replay trace.txt --scheme cnt   # energy of one replay
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.trace.binary import read_binary_trace, write_binary_trace
+from repro.trace.external import ValueModel, import_din
+from repro.trace.io import read_trace, write_trace
+from repro.trace.record import Access, TraceError
+from repro.trace.stats import analyze_trace
+from repro.trace import synth
+
+#: Generators selectable by ``cnttrace synth``.
+GENERATORS = {
+    "random": synth.random_trace,
+    "stream": synth.stream_trace,
+    "zipf": synth.zipf_trace,
+    "pointer-chase": synth.pointer_chase_trace,
+    "sparse": synth.sparse_value_trace,
+}
+
+
+def _is_binary(path: Path) -> bool:
+    suffixes = [suffix for suffix in path.suffixes if suffix != ".gz"]
+    return bool(suffixes) and suffixes[-1] in (".cnttrace", ".bin")
+
+
+def load_any(path: str | Path) -> list[Access]:
+    """Load a trace, dispatching on the file suffix."""
+    path = Path(path)
+    if _is_binary(path):
+        return read_binary_trace(path)
+    return read_trace(path)
+
+
+def save_any(path: str | Path, trace: list[Access]) -> int:
+    """Write a trace, dispatching on the file suffix."""
+    path = Path(path)
+    if _is_binary(path):
+        return write_binary_trace(path, trace)
+    return write_trace(path, trace)
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    trace = load_any(args.path)
+    stats = analyze_trace(trace, line_size=args.line_size)
+    print(f"trace           {args.path}")
+    for key, value in stats.as_dict().items():
+        if isinstance(value, float):
+            print(f"{key:<16}{value:.4f}")
+        else:
+            print(f"{key:<16}{value}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    trace = load_any(args.source)
+    count = save_any(args.dest, trace)
+    print(f"wrote {count} records to {args.dest}")
+    return 0
+
+
+def _cmd_import_din(args: argparse.Namespace) -> int:
+    model = ValueModel(args.values, seed=args.seed)
+    trace = import_din(args.source, access_size=args.access_size,
+                       value_model=model)
+    count = save_any(args.dest, trace)
+    print(f"imported {count} records ({args.values} values) to {args.dest}")
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    generator = GENERATORS[args.generator]
+    trace = generator(args.n, seed=args.seed)
+    count = save_any(args.dest, trace)
+    print(f"generated {count} {args.generator} records to {args.dest}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.core.cntcache import CNTCache
+    from repro.core.config import CNTCacheConfig
+
+    trace = load_any(args.path)
+    sim = CNTCache(CNTCacheConfig(scheme=args.scheme))
+    sim.run(trace)
+    print(sim.stats.report())
+    return 0
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cnttrace", description="CNT-Cache trace toolbox"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="print trace statistics")
+    info.add_argument("path")
+    info.add_argument("--line-size", type=int, default=64)
+    info.set_defaults(func=_cmd_info)
+
+    convert = commands.add_parser(
+        "convert", help="convert between text and binary formats"
+    )
+    convert.add_argument("source")
+    convert.add_argument("dest")
+    convert.set_defaults(func=_cmd_convert)
+
+    import_cmd = commands.add_parser(
+        "import-din", help="import a Dinero address-only trace"
+    )
+    import_cmd.add_argument("source")
+    import_cmd.add_argument("dest")
+    import_cmd.add_argument(
+        "--values", choices=ValueModel.KINDS, default="sparse",
+        help="value-synthesis model (default: sparse)",
+    )
+    import_cmd.add_argument("--access-size", type=int, default=4)
+    import_cmd.add_argument("--seed", type=int, default=0)
+    import_cmd.set_defaults(func=_cmd_import_din)
+
+    synth_cmd = commands.add_parser("synth", help="generate a synthetic trace")
+    synth_cmd.add_argument("generator", choices=sorted(GENERATORS))
+    synth_cmd.add_argument("dest")
+    synth_cmd.add_argument("-n", type=int, default=10000)
+    synth_cmd.add_argument("--seed", type=int, default=0)
+    synth_cmd.set_defaults(func=_cmd_synth)
+
+    replay = commands.add_parser("replay", help="replay a trace, print energy")
+    replay.add_argument("path")
+    replay.add_argument("--scheme", default="cnt")
+    replay.set_defaults(func=_cmd_replay)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI main; returns a process exit code."""
+    args = _parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (TraceError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""Encoding-direction prediction (Algorithm 1 of the paper).
+
+* :mod:`~repro.predictor.threshold` — the analytic machinery: Eq. 1/2
+  window energies, Eq. 3 read-intensive threshold ``Th_rd``, Eq. 4/5 line
+  energies, Eq. 6 bit-count threshold ``N1``, and the precomputed
+  per-``Wr_num`` threshold table the hardware would hold.
+* :mod:`~repro.predictor.history` — the per-line access-history counters
+  (``A_num``, ``Wr_num``) stored in the widened cache line.
+* :mod:`~repro.predictor.predictor` — Algorithm 1 itself, applied per
+  partition.
+* :mod:`~repro.predictor.oracle` — posteriori lower bound on achievable
+  energy, used for the oracle-gap experiment.
+"""
+
+from repro.predictor.history import HISTORY_FIELDS, LineHistory, history_bits
+from repro.predictor.predictor import (
+    AccessPattern,
+    EncodingDirectionPredictor,
+    PredictionOutcome,
+)
+from repro.predictor.oracle import oracle_access_energy, oracle_directions
+from repro.predictor.paper_literal import (
+    LiteralLineState,
+    PaperLiteralPredictor,
+)
+from repro.predictor.threshold import (
+    ThresholdEntry,
+    ThresholdTable,
+    bit1_threshold_eq6,
+    current_encoding_energy,
+    e_save,
+    opposite_encoding_energy,
+    read_intensive_threshold,
+    should_switch_exact,
+    window_energy_prefer_ones,
+    window_energy_prefer_zeros,
+)
+
+__all__ = [
+    "LineHistory",
+    "history_bits",
+    "HISTORY_FIELDS",
+    "AccessPattern",
+    "EncodingDirectionPredictor",
+    "PredictionOutcome",
+    "ThresholdTable",
+    "ThresholdEntry",
+    "read_intensive_threshold",
+    "bit1_threshold_eq6",
+    "e_save",
+    "current_encoding_energy",
+    "opposite_encoding_energy",
+    "should_switch_exact",
+    "window_energy_prefer_ones",
+    "window_energy_prefer_zeros",
+    "oracle_directions",
+    "oracle_access_energy",
+    "PaperLiteralPredictor",
+    "LiteralLineState",
+]

@@ -1,0 +1,75 @@
+"""Per-line access-history counters (the 'H' of the H&D metadata).
+
+Algorithm 1 keeps two saturating counters per cache line: the total access
+count ``A_num`` and the write count ``Wr_num``, both bounded by the window
+``W``.  The paper notes they cost ``2 * log2(W)`` bits of extra line width —
+which is why ``W`` cannot grow arbitrarily (experiment F4 sweeps this
+trade-off).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Names of the counters carried per line, for documentation/reports.
+HISTORY_FIELDS = ("a_num", "wr_num")
+
+
+class HistoryError(ValueError):
+    """Raised on invalid history operations."""
+
+
+def history_bits(window: int) -> int:
+    """Metadata bits needed for the two counters: ``2 * ceil(log2(W))``."""
+    if window < 1:
+        raise HistoryError(f"window must be >= 1, got {window}")
+    if window == 1:
+        return 2  # degenerate: still one bit per counter
+    return 2 * math.ceil(math.log2(window))
+
+
+@dataclass
+class LineHistory:
+    """The ``A_num`` / ``Wr_num`` counters of one cache line.
+
+    ``record`` returns ``True`` when the access completes a window — the
+    moment Algorithm 1 runs the prediction and the counters reset.
+    """
+
+    window: int
+    a_num: int = 0
+    wr_num: int = 0
+    windows_completed: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise HistoryError(f"window must be >= 1, got {self.window}")
+        if not 0 <= self.a_num < self.window:
+            raise HistoryError(
+                f"a_num must be in [0, {self.window}), got {self.a_num}"
+            )
+        if not 0 <= self.wr_num <= self.a_num:
+            raise HistoryError(
+                f"wr_num must be in [0, a_num={self.a_num}], got {self.wr_num}"
+            )
+
+    def record(self, is_write: bool) -> bool:
+        """Count one access; True iff this access completes the window."""
+        self.a_num += 1
+        if is_write:
+            self.wr_num += 1
+        if self.a_num == self.window:
+            self.windows_completed += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Clear both counters (end of window, or encoding switched)."""
+        self.a_num = 0
+        self.wr_num = 0
+
+    @property
+    def rd_num(self) -> int:
+        """Reads observed so far in the current window."""
+        return self.a_num - self.wr_num

@@ -1,0 +1,48 @@
+"""Posteriori oracle bound on encoding savings.
+
+The oracle answers: *if the encoder knew each access's stored bits in
+advance and could re-pick every partition's direction for free, how low
+could the data-array energy go?*  It lower-bounds every realisable policy
+(the real predictor pays re-encode writes and decides from history), so the
+gap between CNT-Cache and the oracle (experiment F8) measures how much of
+the available headroom the windowed predictor captures.
+"""
+
+from __future__ import annotations
+
+from repro.cnfet.energy import BitEnergyModel
+from repro.encoding import bits
+from repro.encoding.base import DirectionWord, LineCodec
+
+
+def oracle_directions(
+    codec: LineCodec, logical: bytes, is_write: bool
+) -> DirectionWord:
+    """Per-access optimal direction word for one access.
+
+    Reads prefer stored '1's (``E_rd1 < E_rd0``), writes prefer stored '0's
+    (``E_wr0 < E_wr1``) — so the optimum is simply the greedy majority vote
+    per partition toward the preferred value.
+    """
+    return codec.greedy_directions(logical, prefer_ones=not is_write)
+
+
+def oracle_access_energy(
+    codec: LineCodec, logical: bytes, is_write: bool, model: BitEnergyModel
+) -> float:
+    """Minimum possible data-array energy of one access, in fJ.
+
+    Computed per partition: each partition independently takes the cheaper
+    of (as-is, inverted).  Because the energy of a partition is linear in
+    its 1-bit population, the greedy direction of
+    :func:`oracle_directions` attains this minimum.
+    """
+    total = 0.0
+    partition_bits = codec.partition_bits
+    for part in bits.split_partitions(logical, codec.n_partitions):
+        ones = bits.popcount(part)
+        zeros = partition_bits - ones
+        as_is = model.access_energy(is_write, ones, zeros)
+        inverted = model.access_energy(is_write, zeros, ones)
+        total += min(as_is, inverted)
+    return total

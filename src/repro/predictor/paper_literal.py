@@ -1,0 +1,146 @@
+"""Algorithm 1 transcribed *literally* from the paper.
+
+The production predictor (:mod:`repro.predictor.predictor`) is table-
+driven and folds both branches of Algorithm 1 into one rooted benefit
+function.  For fidelity auditing, this module instead transcribes the
+paper's pseudocode line by line:
+
+* step 1 classifies the pattern by ``Wr_num > Th_rd`` (Eq. 3);
+* step 2 computes ``bit1num`` with ``getNumOfBit1`` and compares it
+  against ``Th_bit1num[Wr_num]`` — the Eq. 6 closed form — with the
+  branch direction chosen by the pattern (write-intensive: ``>``,
+  read-intensive: ``<``).
+
+The equivalence property (tested in
+``tests/predictor/test_paper_literal.py``): at ``delta_t = 0`` this
+literal transcription and the production predictor make identical
+decisions for every ``(Wr_num, bit1num)``, *except* in windows so
+balanced that Eq. 6 has no root in ``[0, L]`` — where the literal
+comparison is against an out-of-range threshold and trivially never
+fires, exactly like the production ``NEVER`` rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cnfet.energy import BitEnergyModel
+from repro.encoding.bits import popcount
+from repro.predictor.threshold import (
+    ThresholdError,
+    bit1_threshold_eq6,
+    e_save,
+    read_intensive_threshold,
+)
+
+
+def get_num_of_bit1(data: bytes) -> int:
+    """The paper's ``getNumOfBit1()`` bit-counting function."""
+    return popcount(data)
+
+
+@dataclass
+class LiteralLineState:
+    """The per-line inputs/outputs of the paper's pseudocode."""
+
+    a_num: int = 0
+    wr_num: int = 0
+    direction: bool = False
+
+
+class PaperLiteralPredictor:
+    """Line-by-line transcription of Algorithm 1 (whole-line, K = 1)."""
+
+    def __init__(self, length: int, window: int, model: BitEnergyModel) -> None:
+        if window < 1:
+            raise ThresholdError(f"window must be >= 1, got {window}")
+        if length < 1:
+            raise ThresholdError(f"length must be >= 1, got {length}")
+        self.length = length
+        self.window = window
+        self.model = model
+        self.th_rd = read_intensive_threshold(window, model)
+        # "we can obtain all the possible bit number threshold in advance
+        # and construct an array Th_bit1num" - the W+1-entry table.
+        self.th_bit1num = [
+            bit1_threshold_eq6(length, window, wr_num, model)
+            for wr_num in range(window + 1)
+        ]
+
+    def step(
+        self, state: LiteralLineState, is_write: bool, data: bytes
+    ) -> tuple[int | None, bool]:
+        """One invocation of Algorithm 1 for one access.
+
+        Returns ``(pattern, switch)``: ``pattern`` is 1/0 per the paper's
+        write/read-intensive encoding (None when the window is still
+        filling), ``switch`` says whether the encoding direction flipped
+        (in which case the caller re-encodes ``data`` and ``state`` has
+        the new direction).
+        """
+        # The paper counts the access first ...
+        state.a_num += 1
+        if is_write:
+            state.wr_num += 1
+        # ... and runs the prediction when A_num reaches W.
+        if state.a_num != self.window:
+            return None, False
+
+        # Step 1: access pattern prediction.
+        if state.wr_num > self.th_rd:
+            pattern = 1  # write intensive
+        else:
+            pattern = 0  # read intensive
+
+        # Step 2: check if the cache line encoding will be changed.
+        bit1num = get_num_of_bit1(data)
+        threshold = self.th_bit1num[state.wr_num]
+        switch = False
+        if pattern == 1:
+            if math.isfinite(threshold) and bit1num > threshold:
+                switch = True
+        else:
+            if math.isfinite(threshold) and bit1num < threshold:
+                switch = True
+        if switch:
+            state.direction = not state.direction
+
+        state.a_num = 0
+        state.wr_num = 0
+        return pattern, switch
+
+    def would_switch(self, wr_num: int, bit1num: int) -> bool:
+        """Step 2 alone, for equivalence testing against the table."""
+        if not 0 <= wr_num <= self.window:
+            raise ThresholdError(
+                f"wr_num must be in [0, {self.window}], got {wr_num}"
+            )
+        threshold = self.th_bit1num[wr_num]
+        if not math.isfinite(threshold):
+            return False
+        if wr_num > self.th_rd:
+            return bit1num > threshold
+        return bit1num < threshold
+
+    def window_is_degenerate(self, wr_num: int) -> bool:
+        """True when Eq. 6's denominator region makes no root reachable.
+
+        In these near-balanced windows ``2*E_save`` is so close to
+        ``E_wr1 - E_wr0`` that the closed form lands outside ``[0, L]``
+        (or at infinity): the literal comparison can still *formally*
+        fire on the wrong side, which the production table's exact NEVER
+        rule avoids.  The equivalence test excludes exactly this region.
+        """
+        save = e_save(self.window, wr_num, self.model)
+        threshold = self.th_bit1num[wr_num]
+        if not math.isfinite(threshold):
+            return True
+        pattern_write = wr_num > self.th_rd
+        benefit_sign_write = save < 0
+        # Degenerate when the pattern branch disagrees with the benefit
+        # slope, or the threshold is outside the physical range.
+        return (
+            pattern_write != benefit_sign_write
+            or not 0 <= threshold <= self.length
+        )

@@ -1,0 +1,126 @@
+"""Algorithm 1 — the encoding-direction prediction algorithm.
+
+The predictor fires when a line's access window completes (``A_num == W``):
+
+1. *Access-pattern prediction*: the window is classified write-intensive
+   when ``Wr_num > Th_rd`` (Eq. 3), read-intensive otherwise.
+2. *Encoding check*: the '1'-bit population of the stored data is compared
+   against the precomputed ``Th_bit1num[Wr_num]`` entry; if the comparison
+   indicates the opposite encoding (including the re-encode write cost, and
+   optionally a hysteresis margin ``delta_t``) would have been cheaper over
+   the window just observed, the direction flips and the line is re-encoded.
+
+With the partitioned codec (Section III-B) the check runs independently per
+partition with ``L`` equal to the partition width; the whole-line codec is
+the special case ``K = 1``, which makes this class implement Algorithm 1
+verbatim.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cnfet.energy import BitEnergyModel
+from repro.encoding.base import DirectionWord, LineCodec
+from repro.predictor.threshold import (
+    ThresholdError,
+    ThresholdTable,
+    read_intensive_threshold,
+)
+
+
+class AccessPattern(enum.Enum):
+    """Step-1 classification of a completed window."""
+
+    READ_INTENSIVE = 0
+    WRITE_INTENSIVE = 1
+
+
+@dataclass(frozen=True)
+class PredictionOutcome:
+    """What the predictor decided at a window boundary."""
+
+    pattern: AccessPattern
+    #: Per-partition flip decisions (True = invert that partition now).
+    flips: tuple[bool, ...]
+    #: Direction word after applying the flips.
+    new_directions: DirectionWord
+
+    @property
+    def any_flip(self) -> bool:
+        """True iff at least one partition is re-encoded."""
+        return any(self.flips)
+
+
+class EncodingDirectionPredictor:
+    """Table-driven implementation of Algorithm 1 for one codec geometry.
+
+    One instance is shared by all cache lines (the table depends only on
+    ``W``, the partition width and the energy model — not on the line), just
+    as the hardware holds a single W-entry table.
+
+    Parameters
+    ----------
+    codec:
+        The line codec; fixes partition count and width.
+    window:
+        Prediction window ``W`` (accesses per line between predictions).
+    model:
+        Per-bit energy table (Table I).
+    delta_t:
+        Hysteresis margin: flip only if the projected saving exceeds
+        ``delta_t`` times the current-encoding energy.  ``0`` reproduces
+        the published break-even rule.
+    """
+
+    def __init__(
+        self,
+        codec: LineCodec,
+        window: int,
+        model: BitEnergyModel,
+        delta_t: float = 0.0,
+    ) -> None:
+        if window < 1:
+            raise ThresholdError(f"window must be >= 1, got {window}")
+        self.codec = codec
+        self.window = window
+        self.model = model
+        self.delta_t = delta_t
+        self.th_rd = read_intensive_threshold(window, model)
+        self.table = ThresholdTable(
+            length=codec.partition_bits,
+            window=window,
+            model=model,
+            delta_t=delta_t,
+        )
+
+    def classify(self, wr_num: int) -> AccessPattern:
+        """Step 1: read- vs write-intensive, per ``Wr_num > Th_rd``."""
+        if not 0 <= wr_num <= self.window:
+            raise ThresholdError(
+                f"wr_num must be in [0, {self.window}], got {wr_num}"
+            )
+        if wr_num > self.th_rd:
+            return AccessPattern.WRITE_INTENSIVE
+        return AccessPattern.READ_INTENSIVE
+
+    def predict(
+        self, stored: bytes, directions: DirectionWord, wr_num: int
+    ) -> PredictionOutcome:
+        """Run both steps of Algorithm 1 on a completed window.
+
+        ``stored`` is the line *as held in the array* (encoded domain) —
+        the hardware's bit counter sees exactly these bits.
+        """
+        pattern = self.classify(wr_num)
+        ones = self.codec.ones_per_partition(stored)
+        flips = tuple(
+            self.table.should_switch(wr_num, bit1num) for bit1num in ones
+        )
+        new_directions = tuple(
+            direction ^ flip for direction, flip in zip(directions, flips)
+        )
+        return PredictionOutcome(
+            pattern=pattern, flips=flips, new_directions=new_directions
+        )

@@ -1,0 +1,46 @@
+"""Valued memory traces.
+
+Energy in CNT-Cache depends on the *bits* moved, so traces here are
+*valued*: every record carries the data observed at that access (what was
+written, or what was read).  Valued traces are self-contained — the cache
+substrate seeds never-written locations from the recorded read values, so
+replaying a trace reproduces the exact bit streams of the original run.
+"""
+
+from repro.trace.record import Access, Op
+from repro.trace.binary import (
+    binary_trace_reader,
+    read_binary_trace,
+    write_binary_trace,
+)
+from repro.trace.external import ValueModel, din_reader, import_din
+from repro.trace.io import read_trace, trace_reader, write_trace
+from repro.trace.stats import TraceStats, analyze_trace
+from repro.trace.synth import (
+    pointer_chase_trace,
+    random_trace,
+    sparse_value_trace,
+    stream_trace,
+    zipf_trace,
+)
+
+__all__ = [
+    "Access",
+    "Op",
+    "read_trace",
+    "write_trace",
+    "trace_reader",
+    "read_binary_trace",
+    "write_binary_trace",
+    "binary_trace_reader",
+    "import_din",
+    "din_reader",
+    "ValueModel",
+    "TraceStats",
+    "analyze_trace",
+    "random_trace",
+    "stream_trace",
+    "zipf_trace",
+    "pointer_chase_trace",
+    "sparse_value_trace",
+]

@@ -1,0 +1,94 @@
+"""Compact binary trace format.
+
+Text traces are convenient but large; this module defines ``.cnttrace``, a
+little-endian binary format ~1.5x smaller (before compression) and much
+faster to parse:
+
+* 16-byte header: magic ``b"CNTTRACE"``, ``u16`` version, ``u16`` flags
+  (reserved, zero), ``u32`` record count;
+* per record: ``u8`` op (0 = read, 1 = write), ``u8`` size in bytes,
+  ``u64`` address, then ``size`` payload bytes.
+
+Files ending in ``.gz`` are transparently compressed, as with the text
+format.
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.trace.record import Access, Op, TraceError
+
+MAGIC = b"CNTTRACE"
+VERSION = 1
+
+_HEADER = struct.Struct("<8sHHI")
+_RECORD_HEAD = struct.Struct("<BBQ")
+
+
+def _open_binary(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "b")
+    return open(path, mode + "b")
+
+
+def write_binary_trace(path: str | Path, accesses: Iterable[Access]) -> int:
+    """Write accesses in binary form; returns the record count.
+
+    The record count is needed up front for the header, so the input is
+    materialised; use the text format for unbounded streaming writes.
+    """
+    path = Path(path)
+    records = list(accesses)
+    with _open_binary(path, "w") as handle:
+        handle.write(_HEADER.pack(MAGIC, VERSION, 0, len(records)))
+        for access in records:
+            if access.size > 255:
+                raise TraceError(
+                    f"binary format caps access size at 255 bytes, "
+                    f"got {access.size}"
+                )
+            handle.write(
+                _RECORD_HEAD.pack(
+                    1 if access.is_write else 0, access.size, access.addr
+                )
+            )
+            handle.write(access.data)
+    return len(records)
+
+
+def binary_trace_reader(path: str | Path) -> Iterator[Access]:
+    """Stream accesses from a binary trace file."""
+    path = Path(path)
+    with _open_binary(path, "r") as handle:
+        header = handle.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise TraceError(f"{path}: truncated header")
+        magic, version, _flags, count = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise TraceError(f"{path}: bad magic {magic!r}")
+        if version != VERSION:
+            raise TraceError(
+                f"{path}: unsupported version {version} (expected {VERSION})"
+            )
+        for index in range(count):
+            head = handle.read(_RECORD_HEAD.size)
+            if len(head) != _RECORD_HEAD.size:
+                raise TraceError(f"{path}: truncated record {index}")
+            op_code, size, addr = _RECORD_HEAD.unpack(head)
+            if op_code not in (0, 1):
+                raise TraceError(f"{path}: bad op code {op_code} at {index}")
+            payload = handle.read(size)
+            if len(payload) != size:
+                raise TraceError(f"{path}: truncated payload at {index}")
+            yield Access(Op.WRITE if op_code else Op.READ, addr, payload)
+        if handle.read(1):
+            raise TraceError(f"{path}: trailing bytes after {count} records")
+
+
+def read_binary_trace(path: str | Path) -> list[Access]:
+    """Load a whole binary trace into memory."""
+    return list(binary_trace_reader(path))

@@ -1,0 +1,78 @@
+"""Trace serialisation: plain text, optionally gzip-compressed.
+
+Format (one access per line)::
+
+    R 0x1a2b40 0011223344556677
+    W 0x1a2b48 ffffffff
+
+Files ending in ``.gz`` are transparently (de)compressed.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.trace.record import Access, TraceError
+
+
+def _open_text(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="ascii")
+    return open(path, mode, encoding="ascii")
+
+
+def write_trace(path: str | Path, accesses: Iterable[Access]) -> int:
+    """Write accesses to ``path``; returns the number of records written."""
+    path = Path(path)
+    count = 0
+    with _open_text(path, "w") as handle:
+        for access in accesses:
+            handle.write(access.to_line())
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def trace_reader(path: str | Path) -> Iterator[Access]:
+    """Stream accesses from ``path`` without materialising the trace."""
+    path = Path(path)
+    with _open_text(path, "r") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                yield Access.from_line(line)
+            except TraceError as exc:
+                raise TraceError(f"{path}:{line_number}: {exc}") from None
+
+
+def read_trace(path: str | Path) -> list[Access]:
+    """Load a whole trace into memory."""
+    return list(trace_reader(path))
+
+
+def dumps_trace(accesses: Iterable[Access]) -> str:
+    """Serialise a trace to a string (handy for tests and docs)."""
+    buffer = io.StringIO()
+    for access in accesses:
+        buffer.write(access.to_line())
+        buffer.write("\n")
+    return buffer.getvalue()
+
+
+def loads_trace(text: str) -> list[Access]:
+    """Parse a trace from a string."""
+    out = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            out.append(Access.from_line(line))
+        except TraceError as exc:
+            raise TraceError(f"line {line_number}: {exc}") from None
+    return out

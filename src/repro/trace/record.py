@@ -1,0 +1,85 @@
+"""Trace record types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TraceError(ValueError):
+    """Raised on malformed trace records."""
+
+
+class Op(enum.Enum):
+    """Memory operation kind."""
+
+    READ = "R"
+    WRITE = "W"
+
+    @classmethod
+    def parse(cls, token: str) -> "Op":
+        """Parse the single-letter trace token."""
+        try:
+            return cls(token.upper())
+        except ValueError:
+            raise TraceError(f"unknown op token {token!r}") from None
+
+
+@dataclass(frozen=True)
+class Access:
+    """One valued memory access.
+
+    ``data`` is the value written (for writes) or observed (for reads) —
+    always exactly ``size`` bytes, little-endian for scalar values.
+    """
+
+    op: Op
+    addr: int
+    data: bytes
+
+    def __post_init__(self) -> None:
+        if self.addr < 0:
+            raise TraceError(f"address must be non-negative, got {self.addr}")
+        if not self.data:
+            raise TraceError("access data must be non-empty")
+
+    @property
+    def size(self) -> int:
+        """Access width in bytes."""
+        return len(self.data)
+
+    @property
+    def is_write(self) -> bool:
+        """True for stores."""
+        return self.op is Op.WRITE
+
+    @classmethod
+    def read(cls, addr: int, data: bytes) -> "Access":
+        """Convenience constructor for a load."""
+        return cls(Op.READ, addr, data)
+
+    @classmethod
+    def write(cls, addr: int, data: bytes) -> "Access":
+        """Convenience constructor for a store."""
+        return cls(Op.WRITE, addr, data)
+
+    def to_line(self) -> str:
+        """Serialise to the text trace format: ``R 0xADDR hexdata``."""
+        return f"{self.op.value} {self.addr:#x} {self.data.hex()}"
+
+    @classmethod
+    def from_line(cls, line: str) -> "Access":
+        """Parse a text trace line."""
+        parts = line.split()
+        if len(parts) != 3:
+            raise TraceError(f"malformed trace line: {line!r}")
+        op = Op.parse(parts[0])
+        try:
+            addr = int(parts[1], 0)
+        except ValueError:
+            raise TraceError(f"bad address in trace line: {line!r}") from None
+        try:
+            data = bytes.fromhex(parts[2])
+        except ValueError:
+            raise TraceError(f"bad hex data in trace line: {line!r}") from None
+        return cls(op, addr, data)

@@ -1,0 +1,79 @@
+"""Trace statistics.
+
+These feed the workload-characterisation table of the harness: read/write
+mix and bit-population bias are the two properties that decide how much
+adaptive encoding can save on a given program.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.encoding.bits import popcount
+from repro.trace.record import Access
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics of a valued trace."""
+
+    accesses: int = 0
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    one_bits: int = 0
+    total_bits: int = 0
+    distinct_lines: int = 0
+    footprint_bytes: int = 0
+    _line_size: int = field(default=64, repr=False)
+
+    @property
+    def write_ratio(self) -> float:
+        """Fraction of accesses that are writes."""
+        if self.accesses == 0:
+            return 0.0
+        return self.writes / self.accesses
+
+    @property
+    def ones_density(self) -> float:
+        """Fraction of data bits that are '1' — the encoding opportunity."""
+        if self.total_bits == 0:
+            return 0.0
+        return self.one_bits / self.total_bits
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Plain-dict view for table rendering."""
+        return {
+            "accesses": self.accesses,
+            "reads": self.reads,
+            "writes": self.writes,
+            "write_ratio": self.write_ratio,
+            "ones_density": self.ones_density,
+            "distinct_lines": self.distinct_lines,
+            "footprint_bytes": self.footprint_bytes,
+        }
+
+
+def analyze_trace(accesses: Iterable[Access], line_size: int = 64) -> TraceStats:
+    """Single-pass trace characterisation."""
+    stats = TraceStats(_line_size=line_size)
+    lines: set[int] = set()
+    for access in accesses:
+        stats.accesses += 1
+        size = access.size
+        if access.is_write:
+            stats.writes += 1
+            stats.bytes_written += size
+        else:
+            stats.reads += 1
+            stats.bytes_read += size
+        stats.one_bits += popcount(access.data)
+        stats.total_bits += size * 8
+        first_line = access.addr // line_size
+        last_line = (access.addr + size - 1) // line_size
+        lines.update(range(first_line, last_line + 1))
+    stats.distinct_lines = len(lines)
+    stats.footprint_bytes = len(lines) * line_size
+    return stats

@@ -1,0 +1,174 @@
+"""Synthetic trace generators.
+
+These produce controlled access-pattern/value-distribution mixes for unit
+tests, microbenchmarks and the sensitivity sweeps — orthogonal to the
+program-derived workloads in :mod:`repro.workloads`.
+
+All generators are deterministic given their ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.trace.record import Access, TraceError
+
+
+def _rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def _value(rng: random.Random, size: int, ones_density: float) -> bytes:
+    """Random payload whose expected 1-bit density is ``ones_density``."""
+    total_bits = size * 8
+    value = 0
+    for bit in range(total_bits):
+        if rng.random() < ones_density:
+            value |= 1 << bit
+    return value.to_bytes(size, "little")
+
+
+def random_trace(
+    n: int,
+    footprint: int = 1 << 16,
+    size: int = 8,
+    write_ratio: float = 0.3,
+    ones_density: float = 0.5,
+    base: int = 0x10000,
+    seed: int = 0,
+) -> list[Access]:
+    """Uniformly random addresses, tunable write mix and bit density."""
+    _check(n, size, write_ratio, ones_density)
+    rng = _rng(seed)
+    slots = max(footprint // size, 1)
+    out = []
+    for _ in range(n):
+        addr = base + rng.randrange(slots) * size
+        data = _value(rng, size, ones_density)
+        op_is_write = rng.random() < write_ratio
+        out.append(Access.write(addr, data) if op_is_write else Access.read(addr, data))
+    return out
+
+
+def stream_trace(
+    n: int,
+    size: int = 8,
+    write_ratio: float = 0.5,
+    ones_density: float = 0.5,
+    base: int = 0x10000,
+    seed: int = 0,
+) -> list[Access]:
+    """Sequential streaming: read then (probabilistically) write each slot."""
+    _check(n, size, write_ratio, ones_density)
+    rng = _rng(seed)
+    out = []
+    for i in range(n):
+        addr = base + i * size
+        data = _value(rng, size, ones_density)
+        if rng.random() < write_ratio:
+            out.append(Access.write(addr, data))
+        else:
+            out.append(Access.read(addr, data))
+    return out
+
+
+def zipf_trace(
+    n: int,
+    footprint: int = 1 << 16,
+    size: int = 8,
+    write_ratio: float = 0.3,
+    ones_density: float = 0.5,
+    skew: float = 1.1,
+    base: int = 0x10000,
+    seed: int = 0,
+) -> list[Access]:
+    """Zipf-skewed hot/cold working set (cache-friendly locality)."""
+    _check(n, size, write_ratio, ones_density)
+    if skew <= 0:
+        raise TraceError(f"skew must be positive, got {skew}")
+    rng = _rng(seed)
+    slots = max(footprint // size, 1)
+    weights = [1.0 / (rank**skew) for rank in range(1, slots + 1)]
+    # Shuffle ranks over the address space so hot slots are scattered.
+    order = list(range(slots))
+    rng.shuffle(order)
+    chosen = rng.choices(order, weights=weights, k=n)
+    out = []
+    for slot in chosen:
+        addr = base + slot * size
+        data = _value(rng, size, ones_density)
+        if rng.random() < write_ratio:
+            out.append(Access.write(addr, data))
+        else:
+            out.append(Access.read(addr, data))
+    return out
+
+
+def pointer_chase_trace(
+    n: int,
+    nodes: int = 4096,
+    node_size: int = 16,
+    base: int = 0x40000,
+    seed: int = 0,
+) -> list[Access]:
+    """Linked-list walk: reads of next-pointers through a shuffled ring."""
+    if nodes < 2:
+        raise TraceError(f"need >= 2 nodes, got {nodes}")
+    if n < 1:
+        raise TraceError(f"n must be >= 1, got {n}")
+    rng = _rng(seed)
+    order = list(range(nodes))
+    rng.shuffle(order)
+    next_of = {order[i]: order[(i + 1) % nodes] for i in range(nodes)}
+    out = []
+    node = order[0]
+    for _ in range(n):
+        succ = next_of[node]
+        succ_addr = base + succ * node_size
+        out.append(Access.read(base + node * node_size, succ_addr.to_bytes(8, "little")))
+        node = succ
+    return out
+
+
+def sparse_value_trace(
+    n: int,
+    footprint: int = 1 << 16,
+    size: int = 8,
+    write_ratio: float = 0.5,
+    zero_fraction: float = 0.7,
+    base: int = 0x10000,
+    seed: int = 0,
+) -> list[Access]:
+    """Values that are exactly zero with probability ``zero_fraction``.
+
+    Models sparse numeric data (pruned NN weights, zero-initialised
+    buffers) — the most encoding-friendly value distribution.
+    """
+    _check(n, size, write_ratio, 0.5)
+    if not 0.0 <= zero_fraction <= 1.0:
+        raise TraceError(f"zero_fraction must be in [0,1], got {zero_fraction}")
+    rng = _rng(seed)
+    slots = max(footprint // size, 1)
+    out = []
+    for _ in range(n):
+        addr = base + rng.randrange(slots) * size
+        if rng.random() < zero_fraction:
+            data = bytes(size)
+        else:
+            data = _value(rng, size, 0.5)
+        if rng.random() < write_ratio:
+            out.append(Access.write(addr, data))
+        else:
+            out.append(Access.read(addr, data))
+    return out
+
+
+def _check(n: int, size: int, write_ratio: float, ones_density: float) -> None:
+    if n < 0:
+        raise TraceError(f"n must be >= 0, got {n}")
+    if size < 1:
+        raise TraceError(f"size must be >= 1, got {size}")
+    if not 0.0 <= write_ratio <= 1.0:
+        raise TraceError(f"write_ratio must be in [0,1], got {write_ratio}")
+    if not 0.0 <= ones_density <= 1.0:
+        raise TraceError(f"ones_density must be in [0,1], got {ones_density}")

@@ -1,0 +1,37 @@
+"""Benchmark workloads: instrumented kernels that emit valued traces.
+
+Each workload is a small program (MiBench-flavoured: compute, sort, crypto,
+graph, string, image, pointer-chasing kernels) executed against a
+:class:`~repro.workloads.mem.TracedMemory`, so every load and store —
+with its actual data value — lands in a replayable valued trace.  Running
+the kernel for real (rather than synthesising addresses) gives the traces
+the two properties the encoding exploits: realistic bit-population bias
+(small integers, ASCII text, sparse matrices, pointers) and realistic
+read/write phase behaviour.
+
+Use :func:`get_workload` / :data:`WORKLOADS` to enumerate, and
+``build(size, seed)`` to produce a :class:`~repro.workloads.program.WorkloadRun`.
+"""
+
+from repro.workloads.program import (
+    SIZES,
+    Workload,
+    WorkloadError,
+    WorkloadRun,
+    get_workload,
+    workload_names,
+)
+from repro.workloads.mem import MemView, TracedMemory
+from repro.workloads.registry import WORKLOADS
+
+__all__ = [
+    "TracedMemory",
+    "MemView",
+    "Workload",
+    "WorkloadRun",
+    "WorkloadError",
+    "WORKLOADS",
+    "get_workload",
+    "workload_names",
+    "SIZES",
+]

@@ -1,0 +1,64 @@
+"""Table-driven CRC-32 over a text buffer (MiBench ``CRC32`` analogue).
+
+Almost purely read-intensive: byte loads from the message plus u32 loads
+from the 1 KiB lookup table, whose entries are dense in '1' bits — a
+contrast to the zero-rich numeric kernels.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.mem import MemView, TracedMemory
+from repro.workloads.program import Workload
+
+_LENGTHS = {"tiny": 600, "small": 5000, "default": 30000}
+
+_POLY = 0xEDB88320
+
+
+def _crc_table() -> list[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ (_POLY if crc & 1 else 0)
+        table.append(crc)
+    return table
+
+
+def _text(rng: random.Random, n: int) -> bytes:
+    words = (b"the", b"quick", b"carbon", b"nanotube", b"cache", b"energy",
+             b"encoding", b"adaptive", b"line", b"window")
+    out = bytearray()
+    while len(out) < n:
+        out += rng.choice(words) + b" "
+    return bytes(out[:n])
+
+
+def kernel(mem: TracedMemory, size: str, seed: int) -> int:
+    """CRC-32 of a pseudo-text message; returns the final CRC."""
+    n = _LENGTHS[size]
+    rng = random.Random(seed)
+    table = MemView(mem, mem.alloc(4 * 256), 256, width=4)
+    table.fill_untraced(_crc_table())
+    message_addr = mem.alloc(n)
+    mem.preload(message_addr, _text(rng, n))
+    result = MemView(mem, mem.alloc(4 * 16), 16, width=4)
+
+    crc = 0xFFFFFFFF
+    for i in range(n):
+        byte = mem.load_u8(message_addr + i)
+        crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF]
+        if i % 1024 == 1023:
+            result[(i // 1024) % 16] = crc  # periodic progress spill
+    crc ^= 0xFFFFFFFF
+    result[0] = crc
+    return crc
+
+
+WORKLOAD = Workload(
+    name="crc32",
+    description="table-driven CRC-32 over pseudo-text (read-intensive)",
+    kernel=kernel,
+)

@@ -1,0 +1,68 @@
+"""Dijkstra shortest paths on an adjacency matrix (MiBench analogue).
+
+The distance array is initialised to ``0xFFFFFFFF`` (all-ones INF) and
+relaxes toward small integers — line contents migrate from '1'-rich to
+'0'-rich over time, a pattern only an *adaptive* encoder tracks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.mem import MemView, TracedMemory
+from repro.workloads.program import Workload
+
+_CONFIGS = {  # (nodes, sources)
+    "tiny": (12, 1),
+    "small": (40, 2),
+    "default": (100, 4),
+}
+
+_INF = 0xFFFFFFFF
+
+
+def kernel(mem: TracedMemory, size: str, seed: int) -> int:
+    """All shortest paths from a few sources; checksum over distances."""
+    n, n_sources = _CONFIGS[size]
+    rng = random.Random(seed)
+    adj = MemView(mem, mem.alloc(4 * n * n), n * n, width=4)
+
+    def weight() -> int:
+        if rng.random() < 0.35:
+            return 0  # no edge
+        return rng.randrange(1, 64)
+
+    adj.fill_untraced(weight() for _ in range(n * n))
+    dist = MemView(mem, mem.alloc(4 * n), n, width=4)
+    visited = MemView(mem, mem.alloc(4 * n), n, width=4)
+
+    checksum = 0
+    for source in range(n_sources):
+        for i in range(n):
+            dist[i] = _INF
+            visited[i] = 0
+        dist[source % n] = 0
+        for _ in range(n):
+            best, best_d = -1, _INF
+            for i in range(n):
+                if visited[i] == 0:
+                    d = dist[i]
+                    if d < best_d:
+                        best, best_d = i, d
+            if best < 0:
+                break
+            visited[best] = 1
+            for j in range(n):
+                w = adj[best * n + j]
+                if w and dist[j] > best_d + w:
+                    dist[j] = best_d + w
+        for value in dist.snapshot():
+            checksum = (checksum * 67 + value) & 0xFFFFFFFF
+    return checksum
+
+
+WORKLOAD = Workload(
+    name="dijkstra",
+    description="Dijkstra SSSP on a dense adjacency matrix (INF-heavy data)",
+    kernel=kernel,
+)

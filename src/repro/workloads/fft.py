@@ -1,0 +1,85 @@
+"""Fixed-point radix-2 FFT (MiBench ``FFT`` analogue).
+
+Q15 butterflies over signed 32-bit arrays: balanced read/write mix with
+sign-extended values (negative numbers are '1'-rich, positives '0'-rich),
+so partitions inside a line genuinely disagree about their preferred
+encoding — the partitioned codec's home turf.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.workloads.mem import MemView, TracedMemory
+from repro.workloads.program import Workload
+
+_POINTS = {"tiny": 64, "small": 256, "default": 1024}
+
+_Q = 15
+
+
+def _q15(value: float) -> int:
+    return max(min(int(round(value * (1 << _Q))), (1 << _Q) - 1), -(1 << _Q))
+
+
+def kernel(mem: TracedMemory, size: str, seed: int) -> int:
+    """In-place decimation-in-time FFT; checksum over the spectrum."""
+    n = _POINTS[size]
+    rng = random.Random(seed)
+    re = MemView(mem, mem.alloc(4 * n), n, width=4, signed=True)
+    im = MemView(mem, mem.alloc(4 * n), n, width=4, signed=True)
+    re.fill_untraced(_q15(rng.uniform(-0.5, 0.5)) for _ in range(n))
+    im.fill_untraced(0 for _ in range(n))
+    # Twiddle factors, preloaded (computed by the loader, not the kernel).
+    tw_re = MemView(mem, mem.alloc(4 * (n // 2)), n // 2, width=4, signed=True)
+    tw_im = MemView(mem, mem.alloc(4 * (n // 2)), n // 2, width=4, signed=True)
+    tw_re.fill_untraced(
+        _q15(math.cos(-2 * math.pi * k / n)) for k in range(n // 2)
+    )
+    tw_im.fill_untraced(
+        _q15(math.sin(-2 * math.pi * k / n)) for k in range(n // 2)
+    )
+
+    # Bit-reversal permutation.
+    bits = n.bit_length() - 1
+    for i in range(n):
+        j = int(format(i, f"0{bits}b")[::-1], 2)
+        if i < j:
+            ri, rj = re[i], re[j]
+            re[i], re[j] = rj, ri
+            ii, ij = im[i], im[j]
+            im[i], im[j] = ij, ii
+
+    # Butterflies.
+    span = 1
+    while span < n:
+        step = n // (2 * span)
+        for start in range(0, n, 2 * span):
+            for k in range(span):
+                w_re = tw_re[k * step]
+                w_im = tw_im[k * step]
+                a, b = start + k, start + k + span
+                br, bi = re[b], im[b]
+                tr = (br * w_re - bi * w_im) >> _Q
+                ti = (br * w_im + bi * w_re) >> _Q
+                ar, ai = re[a], im[a]
+                re[b] = ar - tr
+                im[b] = ai - ti
+                re[a] = ar + tr
+                im[a] = ai + ti
+        span *= 2
+
+    checksum = 0
+    for value in re.snapshot():
+        checksum = (checksum * 37 + (value & 0xFFFFFFFF)) & 0xFFFFFFFF
+    for value in im.snapshot():
+        checksum = (checksum * 37 + (value & 0xFFFFFFFF)) & 0xFFFFFFFF
+    return checksum
+
+
+WORKLOAD = Workload(
+    name="fft",
+    description="fixed-point radix-2 FFT (sign-mixed Q15 data)",
+    kernel=kernel,
+)

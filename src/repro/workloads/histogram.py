@@ -1,0 +1,46 @@
+"""Byte histogram (streaming reads + scattered counter updates).
+
+Counter lines are write-intensive while the input stream is read-only —
+distinct per-line preferences inside one workload, exactly what per-line
+adaptive encoding targets.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.mem import MemView, TracedMemory
+from repro.workloads.program import Workload
+
+_LENGTHS = {"tiny": 500, "small": 5000, "default": 30000}
+
+
+def kernel(mem: TracedMemory, size: str, seed: int) -> int:
+    """Histogram a byte stream into 256 u32 bins; checksum over bins."""
+    n = _LENGTHS[size]
+    rng = random.Random(seed)
+    data_addr = mem.alloc(n)
+    # Skewed byte distribution (ASCII-ish with hot values).
+    payload = bytes(
+        rng.choice((32, 101, 116, 97, 0, 255)) if rng.random() < 0.6
+        else rng.randrange(256)
+        for _ in range(n)
+    )
+    mem.preload(data_addr, payload)
+    bins = MemView(mem, mem.alloc(4 * 256), 256, width=4)
+
+    for i in range(n):
+        byte = mem.load_u8(data_addr + i)
+        bins[byte] = bins[byte] + 1
+
+    checksum = 0
+    for value in bins.snapshot():
+        checksum = (checksum * 1009 + value) & 0xFFFFFFFF
+    return checksum
+
+
+WORKLOAD = Workload(
+    name="histogram",
+    description="byte histogram: read-only stream + write-hot counters",
+    kernel=kernel,
+)

@@ -1,0 +1,95 @@
+"""LZ77-style compression (``gzip``-flavoured, write-phase rich).
+
+Alternates a read-heavy window-matching phase with bursty token writes to
+an output buffer — per-line access patterns change over the run, which is
+the regime the windowed predictor is designed for.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.mem import MemView, TracedMemory
+from repro.workloads.program import Workload
+
+#: Input bytes; the window scan multiplies these by ~30 trace accesses.
+_LENGTHS = {"tiny": 100, "small": 500, "default": 2500}
+
+_WINDOW = 255
+_MIN_MATCH = 4
+
+
+def _input_text(rng: random.Random, n: int) -> bytes:
+    phrases = (
+        b"the adaptive encoding module ",
+        b"cache line access history ",
+        b"carbon nanotube field effect transistor ",
+        b"energy consumption of reading ",
+        b"0123456789 ",
+    )
+    out = bytearray()
+    while len(out) < n:
+        if rng.random() < 0.75:
+            out += rng.choice(phrases)
+        else:
+            out += bytes(rng.randrange(32, 127) for _ in range(8))
+    return bytes(out[:n])
+
+
+def kernel(mem: TracedMemory, size: str, seed: int) -> int:
+    """Compress a text buffer with greedy LZ77; checksum over the output."""
+    n = _LENGTHS[size]
+    rng = random.Random(seed)
+    src_addr = mem.alloc(n)
+    mem.preload(src_addr, _input_text(rng, n))
+    # Worst case: one 3-byte token per input byte.
+    out = MemView(mem, mem.alloc(3 * n), 3 * n, width=1)
+
+    out_pos = 0
+    position = 0
+    while position < n:
+        best_len = 0
+        best_offset = 0
+        window_start = max(0, position - _WINDOW)
+        # Greedy search with a capped candidate count (keeps runtime sane
+        # while still generating realistic window-scan read traffic).
+        candidate = window_start
+        scanned = 0
+        while candidate < position and scanned < 24:
+            length = 0
+            while (
+                position + length < n
+                and length < 255
+                and mem.load_u8(src_addr + candidate + length)
+                == mem.load_u8(src_addr + position + length)
+            ):
+                length += 1
+            if length > best_len:
+                best_len = length
+                best_offset = position - candidate
+            candidate += max(1, (position - window_start) // 24)
+            scanned += 1
+        if best_len >= _MIN_MATCH:
+            out[out_pos] = 1  # match token
+            out[out_pos + 1] = best_offset & 0xFF
+            out[out_pos + 2] = best_len & 0xFF
+            out_pos += 3
+            position += best_len
+        else:
+            literal = mem.load_u8(src_addr + position)
+            out[out_pos] = 0  # literal token
+            out[out_pos + 1] = literal
+            out_pos += 2
+            position += 1
+
+    checksum = out_pos & 0xFFFFFFFF
+    for index in range(0, out_pos, max(1, out_pos // 256)):
+        checksum = (checksum * 33 + out[index]) & 0xFFFFFFFF
+    return checksum
+
+
+WORKLOAD = Workload(
+    name="lz77",
+    description="greedy LZ77 text compression (phase-alternating mix)",
+    kernel=kernel,
+)

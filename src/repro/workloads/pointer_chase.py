@@ -1,0 +1,55 @@
+"""Linked-list traversal (``mcf``-flavoured pointer chasing).
+
+Node payloads are 64-bit pointers whose upper bits are constant and lower
+bits vary — a bit-population profile unlike any array kernel.  Cache-hostile
+access pattern (shuffled ring) stresses fills and evictions.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.mem import MemView, TracedMemory
+from repro.workloads.program import Workload
+
+_CONFIGS = {  # (nodes, steps)
+    "tiny": (64, 800),
+    "small": (512, 8000),
+    "default": (2048, 40000),
+}
+
+_NODE_SIZE = 32  # next pointer (8) + key (4) + padding to stride the cache
+
+
+def kernel(mem: TracedMemory, size: str, seed: int) -> int:
+    """Walk a shuffled ring, summing keys and bumping hot counters."""
+    nodes, steps = _CONFIGS[size]
+    rng = random.Random(seed)
+    base = mem.alloc(nodes * _NODE_SIZE)
+    order = list(range(nodes))
+    rng.shuffle(order)
+    # Lay out the ring untraced (built by the allocator before measurement).
+    for position, node in enumerate(order):
+        succ = order[(position + 1) % nodes]
+        addr = base + node * _NODE_SIZE
+        mem.preload(addr, (base + succ * _NODE_SIZE).to_bytes(8, "little"))
+        mem.preload(addr + 8, rng.randrange(0, 1 << 16).to_bytes(4, "little"))
+    counters = MemView(mem, mem.alloc(4 * 16), 16, width=4)
+
+    total = 0
+    node_addr = base + order[0] * _NODE_SIZE
+    for step in range(steps):
+        key = mem.load_u32(node_addr + 8)
+        total = (total + key) & 0xFFFFFFFF
+        if step % 16 == 0:
+            slot = key & 0xF
+            counters[slot] = (counters[slot] + 1) & 0xFFFFFFFF
+        node_addr = mem.load_u64(node_addr)
+    return total
+
+
+WORKLOAD = Workload(
+    name="pointer_chase",
+    description="shuffled-ring linked-list walk (pointer-valued loads)",
+    kernel=kernel,
+)

@@ -1,0 +1,72 @@
+"""In-place quicksort with an explicit stack (MiBench ``qsort`` analogue).
+
+Write-heavy in the partitioning phases, read-heavy during scans — the
+phase changes exercise the windowed predictor's adaptivity.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.mem import MemView, TracedMemory
+from repro.workloads.program import Workload
+
+_LENGTHS = {"tiny": 100, "small": 600, "default": 3000}
+
+
+def kernel(mem: TracedMemory, size: str, seed: int) -> int:
+    """Sort a u32 array in place; returns a checksum of the sorted data."""
+    n = _LENGTHS[size]
+    rng = random.Random(seed)
+    data = MemView(mem, mem.alloc(4 * n), n, width=4)
+    # Mixed-magnitude values: mostly small (zero-rich upper bytes), a few
+    # full-width outliers, as real key distributions tend to be.
+    def make_value() -> int:
+        if rng.random() < 0.8:
+            return rng.randrange(0, 1 << 12)
+        return rng.randrange(0, 1 << 32)
+
+    data.fill_untraced(make_value() for _ in range(n))
+    # Explicit stack of (lo, hi) ranges, also held in traced memory.
+    stack = MemView(mem, mem.alloc(8 * 2 * 64), 2 * 64, width=8)
+
+    top = 0
+    stack[0] = 0
+    stack[1] = n - 1
+    top = 1
+    while top > 0:
+        top -= 1
+        hi = stack[2 * top + 1]
+        lo = stack[2 * top]
+        if lo >= hi:
+            continue
+        pivot = data[(lo + hi) // 2]
+        i, j = lo, hi
+        while i <= j:
+            while data[i] < pivot:
+                i += 1
+            while data[j] > pivot:
+                j -= 1
+            if i <= j:
+                left, right = data[i], data[j]
+                data[i] = right
+                data[j] = left
+                i += 1
+                j -= 1
+        for new_lo, new_hi in ((lo, j), (i, hi)):
+            if new_lo < new_hi:
+                stack[2 * top] = new_lo
+                stack[2 * top + 1] = new_hi
+                top += 1
+
+    checksum = 0
+    for value in data.snapshot():
+        checksum = (checksum * 131 + value) & 0xFFFFFFFF
+    return checksum
+
+
+WORKLOAD = Workload(
+    name="qsort",
+    description="in-place quicksort of u32 keys with explicit stack",
+    kernel=kernel,
+)

@@ -1,0 +1,42 @@
+"""Registry of all benchmark workloads."""
+
+from __future__ import annotations
+
+from repro.workloads.bitcount import WORKLOAD as _bitcount
+from repro.workloads.crc32 import WORKLOAD as _crc32
+from repro.workloads.dijkstra import WORKLOAD as _dijkstra
+from repro.workloads.fft import WORKLOAD as _fft
+from repro.workloads.histogram import WORKLOAD as _histogram
+from repro.workloads.lz77 import WORKLOAD as _lz77
+from repro.workloads.matmul import WORKLOAD as _matmul
+from repro.workloads.pointer_chase import WORKLOAD as _pointer_chase
+from repro.workloads.program import Workload
+from repro.workloads.qsort import WORKLOAD as _qsort
+from repro.workloads.records import WORKLOAD as _records
+from repro.workloads.sha256 import WORKLOAD as _sha256
+from repro.workloads.spmv import WORKLOAD as _spmv
+from repro.workloads.stencil import WORKLOAD as _stencil
+from repro.workloads.stream import WORKLOAD as _stream
+from repro.workloads.stringsearch import WORKLOAD as _stringsearch
+
+#: All registered workloads by name.
+WORKLOADS: dict[str, Workload] = {
+    workload.name: workload
+    for workload in (
+        _matmul,
+        _qsort,
+        _crc32,
+        _dijkstra,
+        _fft,
+        _sha256,
+        _stringsearch,
+        _stencil,
+        _histogram,
+        _pointer_chase,
+        _bitcount,
+        _stream,
+        _records,
+        _spmv,
+        _lz77,
+    )
+}

@@ -1,0 +1,66 @@
+"""Sparse matrix-vector multiply in CSR form (scientific-kernel analogue).
+
+Three very different value populations share the cache: row pointers
+(small, monotone), column indices (small), and Q16 values (sign-mixed) —
+plus the dense input/output vectors.  Read-dominated with indirect access.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.mem import MemView, TracedMemory
+from repro.workloads.program import Workload
+
+_CONFIGS = {  # (rows, cols, nnz_per_row, repeats)
+    "tiny": (40, 40, 4, 2),
+    "small": (150, 150, 6, 3),
+    "default": (400, 400, 8, 4),
+}
+
+
+def kernel(mem: TracedMemory, size: str, seed: int) -> int:
+    """y = A @ x repeated a few times; checksum over y."""
+    n_rows, n_cols, nnz_per_row, repeats = _CONFIGS[size]
+    rng = random.Random(seed)
+
+    nnz = n_rows * nnz_per_row
+    row_ptr = MemView(mem, mem.alloc(4 * (n_rows + 1)), n_rows + 1, width=4)
+    col_idx = MemView(mem, mem.alloc(4 * nnz), nnz, width=4)
+    values = MemView(mem, mem.alloc(4 * nnz), nnz, width=4, signed=True)
+    x = MemView(mem, mem.alloc(4 * n_cols), n_cols, width=4, signed=True)
+    y = MemView(mem, mem.alloc(4 * n_rows), n_rows, width=4, signed=True)
+
+    # Build the CSR structure untraced (matrix assembly is input staging).
+    pointers = [0]
+    columns: list[int] = []
+    for _ in range(n_rows):
+        row_cols = sorted(rng.sample(range(n_cols), nnz_per_row))
+        columns.extend(row_cols)
+        pointers.append(len(columns))
+    row_ptr.fill_untraced(pointers)
+    col_idx.fill_untraced(columns)
+    values.fill_untraced(
+        rng.randrange(-(1 << 16), 1 << 16) for _ in range(nnz)
+    )
+    x.fill_untraced(rng.randrange(-1000, 1000) for _ in range(n_cols))
+
+    checksum = 0
+    for _ in range(repeats):
+        for row in range(n_rows):
+            start = row_ptr[row]
+            end = row_ptr[row + 1]
+            acc = 0
+            for position in range(start, end):
+                acc += values[position] * x[col_idx[position]]
+            y[row] = acc >> 16
+        for row in range(n_rows):
+            checksum = (checksum * 131 + (y[row] & 0xFFFFFFFF)) & 0xFFFFFFFF
+    return checksum
+
+
+WORKLOAD = Workload(
+    name="spmv",
+    description="CSR sparse matrix-vector multiply (indirect, read-heavy)",
+    kernel=kernel,
+)

@@ -1,0 +1,49 @@
+"""3x3 smoothing stencil over an 8-bit image (``susan``-flavoured).
+
+Streaming reads of a bright-ish image with writes of smoothed output —
+balanced mix, spatially local.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.mem import MemView, TracedMemory
+from repro.workloads.program import Workload
+
+_DIMS = {"tiny": 12, "small": 40, "default": 100}
+
+
+def kernel(mem: TracedMemory, size: str, seed: int) -> int:
+    """Mean-filter the interior pixels; returns an output checksum."""
+    dim = _DIMS[size]
+    rng = random.Random(seed)
+    src = MemView(mem, mem.alloc(dim * dim), dim * dim, width=1)
+    dst = MemView(mem, mem.alloc(dim * dim), dim * dim, width=1)
+    # A mostly-dark image with bright blobs (realistic sensor content).
+    pixels = []
+    for _ in range(dim * dim):
+        pixels.append(
+            rng.randrange(200, 256) if rng.random() < 0.15 else rng.randrange(0, 40)
+        )
+    src.fill_untraced(pixels)
+
+    for row in range(1, dim - 1):
+        for col in range(1, dim - 1):
+            acc = 0
+            for dr in (-1, 0, 1):
+                for dc in (-1, 0, 1):
+                    acc += src[(row + dr) * dim + (col + dc)]
+            dst[row * dim + col] = acc // 9
+
+    checksum = 0
+    for value in dst.snapshot():
+        checksum = (checksum * 17 + value) & 0xFFFFFFFF
+    return checksum
+
+
+WORKLOAD = Workload(
+    name="stencil",
+    description="3x3 mean filter over an 8-bit image (susan-flavoured)",
+    kernel=kernel,
+)

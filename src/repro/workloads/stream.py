@@ -1,0 +1,46 @@
+"""STREAM-style copy/scale/add/triad over int32 vectors.
+
+Sequential whole-line traffic with a ~50/50 read/write mix per element —
+the bandwidth-bound extreme of the workload spectrum.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.mem import MemView, TracedMemory
+from repro.workloads.program import Workload
+
+_LENGTHS = {"tiny": 200, "small": 1500, "default": 8000}
+
+
+def kernel(mem: TracedMemory, size: str, seed: int) -> int:
+    """One STREAM iteration (copy, scale, add, triad); checksum of a."""
+    n = _LENGTHS[size]
+    rng = random.Random(seed)
+    a = MemView(mem, mem.alloc(4 * n), n, width=4, signed=True)
+    b = MemView(mem, mem.alloc(4 * n), n, width=4, signed=True)
+    c = MemView(mem, mem.alloc(4 * n), n, width=4, signed=True)
+    a.fill_untraced(rng.randrange(0, 1000) for _ in range(n))
+    scalar = 3
+
+    for i in range(n):  # copy: c = a
+        c[i] = a[i]
+    for i in range(n):  # scale: b = scalar * c
+        b[i] = scalar * c[i]
+    for i in range(n):  # add: c = a + b
+        c[i] = a[i] + b[i]
+    for i in range(n):  # triad: a = b + scalar * c
+        a[i] = b[i] + scalar * c[i]
+
+    checksum = 0
+    for value in a.snapshot():
+        checksum = (checksum * 41 + (value & 0xFFFFFFFF)) & 0xFFFFFFFF
+    return checksum
+
+
+WORKLOAD = Workload(
+    name="stream",
+    description="STREAM copy/scale/add/triad over int32 vectors",
+    kernel=kernel,
+)

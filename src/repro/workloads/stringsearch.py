@@ -1,0 +1,63 @@
+"""Boyer-Moore-Horspool substring search (MiBench ``stringsearch``).
+
+ASCII text is ~0.4 ones in the low 7 bits with the top bit always 0 —
+moderately biased, heavily read-intensive.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.mem import MemView, TracedMemory
+from repro.workloads.program import Workload
+
+_LENGTHS = {"tiny": 800, "small": 8000, "default": 40000}
+
+_WORDS = (
+    b"carbon", b"nanotube", b"transistor", b"cache", b"energy", b"adaptive",
+    b"encoding", b"window", b"predictor", b"threshold", b"inverter", b"line",
+)
+
+
+def _text(rng: random.Random, n: int) -> bytes:
+    out = bytearray()
+    while len(out) < n:
+        out += rng.choice(_WORDS) + b" "
+    return bytes(out[:n])
+
+
+def kernel(mem: TracedMemory, size: str, seed: int) -> int:
+    """Count occurrences of several patterns; returns the total count."""
+    n = _LENGTHS[size]
+    rng = random.Random(seed)
+    text_addr = mem.alloc(n)
+    mem.preload(text_addr, _text(rng, n))
+    shift = MemView(mem, mem.alloc(4 * 256), 256, width=4)
+
+    total = 0
+    for pattern in (b"nanotube", b"encoding", b"threshold"):
+        m = len(pattern)
+        # Build the bad-character shift table (writes).
+        for i in range(256):
+            shift[i] = m
+        for i in range(m - 1):
+            shift[pattern[i]] = m - 1 - i
+        # Scan (reads).
+        pos = 0
+        while pos + m <= n:
+            j = m - 1
+            while j >= 0 and mem.load_u8(text_addr + pos + j) == pattern[j]:
+                j -= 1
+            if j < 0:
+                total += 1
+                pos += m
+            else:
+                pos += shift[mem.load_u8(text_addr + pos + m - 1)]
+    return total
+
+
+WORKLOAD = Workload(
+    name="stringsearch",
+    description="Horspool substring search over ASCII text (read-heavy)",
+    kernel=kernel,
+)

@@ -1,0 +1,181 @@
+"""Unit tests for the set-associative cache engine."""
+
+import pytest
+
+from repro.cache.address import AddressError
+from repro.cache.cache import CacheError, EventKind, SetAssociativeCache
+from repro.cache.memory import MainMemory
+
+
+def make_cache(size=1024, assoc=2, line_size=64, **kw):
+    return SetAssociativeCache(size, assoc, line_size, MainMemory(), **kw)
+
+
+class TestConstruction:
+    def test_geometry(self):
+        cache = make_cache(size=32 * 1024, assoc=4, line_size=64)
+        assert cache.n_sets == 128
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(CacheError):
+            make_cache(size=1000, assoc=3, line_size=64)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(CacheError):
+            make_cache(size=0)
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        first = cache.access(False, 0x100, 8)
+        assert not first.hit
+        second = cache.access(False, 0x100, 8)
+        assert second.hit
+        assert cache.read_misses == 1
+        assert cache.read_hits == 1
+
+    def test_same_line_different_offset_hits(self):
+        cache = make_cache()
+        cache.access(False, 0x100, 8)
+        assert cache.access(False, 0x130, 8).hit
+
+    def test_write_allocate(self):
+        cache = make_cache()
+        result = cache.access(True, 0x200, 8, b"\x11" * 8)
+        assert not result.hit
+        assert cache.write_misses == 1
+        assert cache.access(False, 0x200, 8).hit
+
+    def test_hit_rate(self):
+        cache = make_cache()
+        cache.access(False, 0, 8)
+        cache.access(False, 0, 8)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_conflict_eviction(self):
+        cache = make_cache(size=256, assoc=1, line_size=64)  # 4 sets
+        cache.access(False, 0, 8)
+        cache.access(False, 256, 8)  # same set 0, different tag
+        assert cache.evictions == 1
+        assert not cache.access(False, 0, 8).hit  # original evicted
+
+    def test_lru_keeps_hot_line(self):
+        cache = make_cache(size=512, assoc=2, line_size=64)  # 4 sets, 2 ways
+        cache.access(False, 0, 8)  # set 0
+        cache.access(False, 1024, 8)  # set 0
+        cache.access(False, 0, 8)  # touch first again
+        cache.access(False, 2048, 8)  # evicts 1024, not 0
+        assert cache.access(False, 0, 8).hit
+        assert not cache.access(False, 1024, 8).hit
+
+
+class TestData:
+    def test_write_then_read(self):
+        cache = make_cache()
+        cache.access(True, 0x100, 8, b"ABCDEFGH")
+        assert cache.access(False, 0x100, 8).data == b"ABCDEFGH"
+
+    def test_writeback_to_memory(self):
+        memory = MainMemory()
+        cache = SetAssociativeCache(256, 1, 64, memory)
+        cache.access(True, 0, 8, b"\xAA" * 8)
+        cache.access(False, 256, 8)  # evicts the dirty line
+        assert cache.writebacks == 1
+        assert memory.peek(0, 8) == b"\xAA" * 8
+
+    def test_clean_eviction_no_writeback(self):
+        cache = make_cache(size=256, assoc=1, line_size=64)
+        cache.access(False, 0, 8)
+        cache.access(False, 256, 8)
+        assert cache.evictions == 1
+        assert cache.writebacks == 0
+
+    def test_read_seed_installs_value(self):
+        cache = make_cache()
+        result = cache.access(False, 0x300, 8, b"\x55" * 8)
+        assert result.data == b"\x55" * 8
+        # The seed reached backing memory, so a refill sees it too.
+        assert cache.memory.peek(0x300, 8) == b"\x55" * 8
+
+    def test_refill_after_eviction_preserves_data(self):
+        cache = make_cache(size=256, assoc=1, line_size=64)
+        cache.access(True, 0, 8, b"\x77" * 8)
+        cache.access(False, 256, 8)  # evict (writeback)
+        assert cache.access(False, 0, 8).data == b"\x77" * 8
+
+
+class TestEvents:
+    def test_read_hit_emits_single_read(self):
+        cache = make_cache()
+        cache.access(False, 0, 8)
+        events = cache.access(False, 0, 8).events
+        assert [e.kind for e in events] == [EventKind.DATA_READ]
+
+    def test_miss_emits_fill_then_demand(self):
+        cache = make_cache()
+        events = cache.access(False, 0, 8).events
+        assert [e.kind for e in events] == [EventKind.FILL, EventKind.DATA_READ]
+
+    def test_dirty_eviction_emits_writeback_first(self):
+        cache = make_cache(size=256, assoc=1, line_size=64)
+        cache.access(True, 0, 8, b"\x01" * 8)
+        events = cache.access(False, 256, 8).events
+        assert [e.kind for e in events] == [
+            EventKind.WRITEBACK,
+            EventKind.FILL,
+            EventKind.DATA_READ,
+        ]
+
+    def test_writeback_payload_is_victim_data(self):
+        cache = make_cache(size=256, assoc=1, line_size=64)
+        cache.access(True, 0, 64, b"\x42" * 64)
+        events = cache.access(False, 256, 8).events
+        writeback = events[0]
+        assert writeback.payload == b"\x42" * 64
+
+    def test_event_payload_sizes(self):
+        cache = make_cache()
+        events = cache.access(True, 0x40, 4, b"\x01\x02\x03\x04").events
+        fill, write = events
+        assert fill.size == 64
+        assert write.size == 4
+        assert write.offset == 0
+
+
+class TestValidation:
+    def test_rejects_line_crossing(self):
+        cache = make_cache()
+        with pytest.raises(AddressError):
+            cache.access(False, 60, 8)
+
+    def test_rejects_write_without_data(self):
+        cache = make_cache()
+        with pytest.raises(CacheError):
+            cache.access(True, 0, 8)
+
+    def test_rejects_wrong_data_size(self):
+        cache = make_cache()
+        with pytest.raises(CacheError):
+            cache.access(True, 0, 8, b"\x00")
+
+    def test_rejects_oversized_access(self):
+        cache = make_cache()
+        with pytest.raises(CacheError):
+            cache.access(False, 0, 128)
+
+
+class TestFlush:
+    def test_flush_writes_back_dirty(self):
+        memory = MainMemory()
+        cache = SetAssociativeCache(1024, 2, 64, memory)
+        cache.access(True, 0, 8, b"\x99" * 8)
+        cache.access(False, 512, 8)
+        events = cache.flush()
+        assert sum(e.kind is EventKind.WRITEBACK for e in events) == 1
+        assert memory.peek(0, 8) == b"\x99" * 8
+        # Everything invalid afterwards.
+        assert not cache.access(False, 0, 8).hit
+
+    def test_flush_empty_cache(self):
+        assert make_cache().flush() == []

@@ -1,0 +1,86 @@
+"""Property test: the cache is transparent versus a flat shadow memory."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.memory import MainMemory
+from repro.cache.replacement import make_replacement_policy
+
+#: Small address space so evictions are frequent.
+addresses = st.integers(min_value=0, max_value=2047)
+operations = st.lists(
+    st.tuples(
+        st.booleans(),  # is_write
+        addresses,
+        st.sampled_from([1, 2, 4, 8]),
+        st.binary(min_size=8, max_size=8),
+    ),
+    max_size=200,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=operations, policy=st.sampled_from(["lru", "fifo", "plru", "random"]))
+def test_cache_is_transparent(ops, policy):
+    """Reads always return the latest write, across any eviction pattern."""
+    memory = MainMemory()
+    cache = SetAssociativeCache(
+        size=512,
+        assoc=2,
+        line_size=64,
+        memory=memory,
+        replacement=make_replacement_policy(policy, 4, 2, seed=1),
+    )
+    shadow: dict[int, int] = {}
+    for is_write, addr, size, payload in ops:
+        addr -= addr % size  # align; the engine rejects line-crossers
+        if is_write:
+            data = payload[:size]
+            cache.access(True, addr, size, data)
+            for index, byte in enumerate(data):
+                shadow[addr + index] = byte
+        else:
+            out = cache.access(False, addr, size).data
+            for index in range(size):
+                expected = shadow.get(addr + index, 0)
+                assert out[index] == expected
+            for index, byte in enumerate(out):
+                shadow.setdefault(addr + index, byte)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=operations)
+def test_flush_leaves_memory_consistent(ops):
+    """After a flush, backing memory holds exactly the program's view."""
+    memory = MainMemory()
+    cache = SetAssociativeCache(512, 2, 64, memory)
+    shadow: dict[int, int] = {}
+    for is_write, addr, size, payload in ops:
+        addr -= addr % size
+        if is_write:
+            data = payload[:size]
+            cache.access(True, addr, size, data)
+            for index, byte in enumerate(data):
+                shadow[addr + index] = byte
+        else:
+            cache.access(False, addr, size)
+    cache.flush()
+    for byte_addr, value in shadow.items():
+        assert memory.peek(byte_addr, 1)[0] == value
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=operations)
+def test_stat_identities(ops):
+    """hits + misses == accesses; evictions never exceed misses."""
+    cache = SetAssociativeCache(512, 2, 64, MainMemory())
+    for is_write, addr, size, payload in ops:
+        addr -= addr % size
+        cache.access(True, addr, size, payload[:size]) if is_write else (
+            cache.access(False, addr, size)
+        )
+    hits = cache.read_hits + cache.write_hits
+    misses = cache.read_misses + cache.write_misses
+    assert hits + misses == cache.accesses
+    assert cache.evictions <= misses
+    assert cache.writebacks <= cache.evictions + misses

@@ -1,0 +1,62 @@
+"""Unit tests for the hierarchy helper (splitting + optional L2)."""
+
+import pytest
+
+from repro.cache.cache import CacheError, SetAssociativeCache
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.memory import MainMemory
+
+
+def make_hierarchy(with_l2=False):
+    memory = MainMemory()
+    l1 = SetAssociativeCache(1024, 2, 64, memory)
+    l2 = SetAssociativeCache(4096, 4, 64, memory) if with_l2 else None
+    return CacheHierarchy(l1, l2)
+
+
+class TestSplitting:
+    def test_aligned_access_single_part(self):
+        hierarchy = make_hierarchy()
+        assert hierarchy.split_ranges(0, 64) == [(0, 64)]
+
+    def test_crossing_access_two_parts(self):
+        hierarchy = make_hierarchy()
+        assert hierarchy.split_ranges(60, 8) == [(60, 4), (64, 4)]
+
+    def test_long_access_many_parts(self):
+        hierarchy = make_hierarchy()
+        parts = hierarchy.split_ranges(10, 200)
+        assert parts[0] == (10, 54)
+        assert sum(size for _, size in parts) == 200
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(CacheError):
+            make_hierarchy().split_ranges(0, 0)
+
+
+class TestAccess:
+    def test_crossing_write_then_read(self):
+        hierarchy = make_hierarchy()
+        payload = bytes(range(16))
+        hierarchy.access(True, 56, 16, payload)
+        result = hierarchy.access(False, 56, 16)
+        assert result.data == payload
+
+    def test_hit_requires_all_parts(self):
+        hierarchy = make_hierarchy()
+        hierarchy.access(False, 0, 8)  # line 0 resident
+        result = hierarchy.access(False, 60, 8)  # crosses into line 1
+        assert not result.hit  # second half missed
+
+    def test_l2_sees_l1_misses(self):
+        hierarchy = make_hierarchy(with_l2=True)
+        hierarchy.access(False, 0, 8)
+        assert hierarchy.l2.accesses == 1
+        hierarchy.access(False, 0, 8)  # L1 hit: L2 silent
+        assert hierarchy.l2.accesses == 1
+
+    def test_l2_must_share_memory(self):
+        l1 = SetAssociativeCache(1024, 2, 64, MainMemory())
+        l2 = SetAssociativeCache(4096, 4, 64, MainMemory())
+        with pytest.raises(CacheError):
+            CacheHierarchy(l1, l2)

@@ -1,0 +1,110 @@
+"""Tests for write-through and no-write-allocate behaviour."""
+
+import pytest
+
+from repro.cache.cache import EventKind, SetAssociativeCache
+from repro.cache.memory import MainMemory
+from repro.core.cntcache import CNTCache
+from repro.core.config import CNTCacheConfig, ConfigError
+from repro.trace.record import Access
+
+
+def make_cache(**kw):
+    return SetAssociativeCache(1024, 2, 64, MainMemory(), **kw)
+
+
+class TestWriteThrough:
+    def test_store_reaches_memory_immediately(self):
+        cache = make_cache(write_through=True)
+        cache.access(True, 0x100, 8, b"\x42" * 8)
+        assert cache.memory.peek(0x100, 8) == b"\x42" * 8
+
+    def test_line_stays_clean(self):
+        cache = make_cache(write_through=True)
+        cache.access(True, 0x100, 8, b"\x42" * 8)
+        _set, way = cache.probe(0x100)
+        assert not cache.line_at(_set, way).dirty
+
+    def test_no_writebacks_on_eviction(self):
+        cache = SetAssociativeCache(
+            256, 1, 64, MainMemory(), write_through=True
+        )
+        cache.access(True, 0, 8, b"\x01" * 8)
+        cache.access(False, 256, 8)
+        assert cache.writebacks == 0
+
+    def test_write_back_default_defers(self):
+        cache = make_cache()
+        cache.access(True, 0x100, 8, b"\x42" * 8)
+        assert cache.memory.peek(0x100, 8) == bytes(8)  # not yet written
+
+
+class TestNoWriteAllocate:
+    def test_write_miss_bypasses(self):
+        cache = make_cache(write_allocate=False)
+        result = cache.access(True, 0x100, 8, b"\x42" * 8)
+        assert not result.hit
+        assert result.way == -1
+        assert result.events == []
+        # The store still lands in memory.
+        assert cache.memory.peek(0x100, 8) == b"\x42" * 8
+        # And the line was not installed.
+        _set, way = cache.probe(0x100)
+        assert way is None
+
+    def test_write_hit_still_updates_line(self):
+        cache = make_cache(write_allocate=False)
+        cache.access(False, 0x100, 8)  # installs via read
+        result = cache.access(True, 0x100, 8, b"\x42" * 8)
+        assert result.hit
+        assert result.events[0].kind is EventKind.DATA_WRITE
+
+    def test_read_after_bypassed_write_sees_data(self):
+        cache = make_cache(write_allocate=False)
+        cache.access(True, 0x100, 8, b"\x42" * 8)
+        result = cache.access(False, 0x100, 8)
+        assert result.data == b"\x42" * 8
+
+
+class TestConfigPlumbing:
+    def test_policy_mapping(self):
+        cases = {
+            "wb-wa": (False, True),
+            "wt-wa": (True, True),
+            "wt-nwa": (True, False),
+            "wb-nwa": (False, False),
+        }
+        for name, (through, allocate) in cases.items():
+            config = CNTCacheConfig(write_policy=name)
+            assert config.write_through is through, name
+            assert config.write_allocate is allocate, name
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            CNTCacheConfig(write_policy="psychic")
+
+    def test_cnt_cache_correct_under_all_policies(self):
+        for write_policy in ("wb-wa", "wt-wa", "wt-nwa", "wb-nwa"):
+            sim = CNTCache(
+                CNTCacheConfig(scheme="cnt", write_policy=write_policy)
+            )
+            sim.access(Access.write(0x100, b"POLICIES"))
+            # Coherent valued trace: the read records the true value.
+            out = sim.access(Access.read(0x100, b"POLICIES"))
+            assert out == b"POLICIES", write_policy
+
+    def test_bypassed_writes_cost_no_array_energy(self):
+        sim = CNTCache(
+            CNTCacheConfig(scheme="cnt", write_policy="wt-nwa",
+                           peripheral_fj_per_access=0.0)
+        )
+        sim.access(Access.write(0x100, b"\xff" * 8))  # miss -> bypass
+        assert sim.stats.data_write_fj == 0.0
+        assert sim.stats.fill_fj == 0.0
+
+    def test_write_through_skips_writeback_energy(self, tiny_runs):
+        run = tiny_runs["qsort"]
+        through = CNTCache(CNTCacheConfig(write_policy="wt-wa"))
+        through.preload_all(run.preloads)
+        through.run(run.trace)
+        assert through.stats.writeback_fj == 0.0

@@ -1,0 +1,69 @@
+"""Unit tests for process corners and Vdd scaling."""
+
+import pytest
+
+from repro.cnfet.corners import (
+    CMOS_REFERENCE,
+    Corner,
+    cmos_reference_model,
+    scale_to_corner,
+    scale_to_vdd,
+)
+from repro.cnfet.energy import BitEnergyModel, EnergyModelError
+
+
+class TestCorners:
+    def test_tt_is_identity(self, model):
+        assert scale_to_corner(model, Corner.TT).e_rd0 == model.e_rd0
+
+    def test_ff_cheaper_ss_dearer(self, model):
+        fast = scale_to_corner(model, Corner.FF)
+        slow = scale_to_corner(model, Corner.SS)
+        assert fast.e_rd0 < model.e_rd0 < slow.e_rd0
+
+    def test_all_corners_have_multipliers(self):
+        for corner in Corner:
+            assert corner.energy_multiplier > 0
+
+
+class TestVddScaling:
+    def test_quadratic(self, model):
+        half = scale_to_vdd(model, 0.45)
+        assert half.e_rd0 == pytest.approx(model.e_rd0 * 0.25)
+
+    def test_nominal_identity(self, model):
+        assert scale_to_vdd(model, 0.9).e_wr1 == pytest.approx(model.e_wr1)
+
+    def test_rejects_non_positive_vdd(self, model):
+        with pytest.raises(EnergyModelError):
+            scale_to_vdd(model, 0.0)
+        with pytest.raises(EnergyModelError):
+            scale_to_vdd(model, -1.0)
+
+    def test_rejects_bad_nominal(self, model):
+        with pytest.raises(EnergyModelError):
+            scale_to_vdd(model, 0.9, nominal_vdd=0)
+
+
+class TestCMOSReference:
+    def test_near_symmetric(self):
+        reference = cmos_reference_model()
+        assert reference.write_asymmetry < 1.2
+
+    def test_dearer_than_cnfet_on_average(self, model):
+        reference = cmos_reference_model()
+        cnfet_avg = (model.e_rd0 + model.e_rd1 + model.e_wr0 + model.e_wr1) / 4
+        cmos_avg = (
+            reference.e_rd0 + reference.e_rd1 + reference.e_wr0 + reference.e_wr1
+        ) / 4
+        assert cmos_avg > 2 * cnfet_avg
+
+    def test_scales_with_vdd(self):
+        low = cmos_reference_model(0.6)
+        assert low.e_rd0 < cmos_reference_model(0.9).e_rd0
+
+    def test_module_constant_is_nominal(self):
+        assert CMOS_REFERENCE.e_rd0 == cmos_reference_model().e_rd0
+
+    def test_is_valid_model(self):
+        assert isinstance(cmos_reference_model(), BitEnergyModel)

@@ -1,0 +1,120 @@
+"""Unit tests for the CNFET device model."""
+
+import math
+
+import pytest
+
+from repro.cnfet.device import CNFETDevice, DeviceModelError
+
+
+class TestConstruction:
+    def test_defaults_valid(self):
+        device = CNFETDevice()
+        assert device.n_tubes == 4
+        assert device.vdd == 0.9
+
+    def test_rejects_zero_tubes(self):
+        with pytest.raises(DeviceModelError):
+            CNFETDevice(n_tubes=0)
+
+    def test_rejects_bad_diameter(self):
+        with pytest.raises(DeviceModelError):
+            CNFETDevice(diameter_nm=0.2)
+        with pytest.raises(DeviceModelError):
+            CNFETDevice(diameter_nm=5.0)
+
+    def test_rejects_pitch_below_diameter(self):
+        with pytest.raises(DeviceModelError):
+            CNFETDevice(diameter_nm=2.0, pitch_nm=1.0)
+
+    def test_rejects_nonpositive_gate_length(self):
+        with pytest.raises(DeviceModelError):
+            CNFETDevice(gate_length_nm=0)
+
+    def test_rejects_vth_outside_rail(self):
+        with pytest.raises(DeviceModelError):
+            CNFETDevice(vdd=0.9, vth=0.9)
+        with pytest.raises(DeviceModelError):
+            CNFETDevice(vdd=0.9, vth=0.0)
+
+
+class TestCapacitance:
+    def test_gate_cap_scales_with_tubes(self):
+        small = CNFETDevice(n_tubes=2)
+        large = CNFETDevice(n_tubes=8)
+        assert large.gate_capacitance_ff == pytest.approx(
+            4 * small.gate_capacitance_ff
+        )
+
+    def test_gate_cap_scales_with_gate_length(self):
+        short = CNFETDevice(gate_length_nm=16)
+        long_ = CNFETDevice(gate_length_nm=32)
+        assert long_.gate_capacitance_ff == pytest.approx(
+            2 * short.gate_capacitance_ff
+        )
+
+    def test_junction_cap_positive(self):
+        assert CNFETDevice().junction_capacitance_ff > 0
+
+    def test_screening_reduces_dense_arrays(self):
+        dense = CNFETDevice(pitch_nm=1.6, diameter_nm=1.5)
+        sparse = CNFETDevice(pitch_nm=20.0, diameter_nm=1.5)
+        assert dense.gate_capacitance_ff < sparse.gate_capacitance_ff
+
+
+class TestDrive:
+    def test_on_current_scales_with_tubes(self):
+        assert (
+            CNFETDevice(n_tubes=8).on_current_ua
+            > CNFETDevice(n_tubes=4).on_current_ua
+        )
+
+    def test_on_current_drops_with_vdd(self):
+        nominal = CNFETDevice()
+        low = nominal.with_vdd(0.6)
+        assert low.on_current_ua < nominal.on_current_ua
+
+    def test_pfet_weaker_than_nfet(self):
+        nfet = CNFETDevice()
+        pfet = nfet.as_pfet()
+        assert pfet.on_current_ua < nfet.on_current_ua
+
+    def test_effective_resistance_finite(self):
+        resistance = CNFETDevice().effective_resistance_kohm
+        assert 0 < resistance < 1000
+        assert not math.isinf(resistance)
+
+    def test_resistance_infinite_at_threshold(self):
+        device = CNFETDevice(vdd=0.3, vth=0.29)
+        # Nearly zero overdrive -> huge resistance.
+        assert device.effective_resistance_kohm > 100
+
+
+class TestSwitchingEnergy:
+    def test_half_cv2(self):
+        device = CNFETDevice(vdd=1.0)
+        assert device.switching_energy_fj(2.0) == pytest.approx(1.0)
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(DeviceModelError):
+            CNFETDevice().switching_energy_fj(-1.0)
+
+    def test_zero_load_zero_energy(self):
+        assert CNFETDevice().switching_energy_fj(0.0) == 0.0
+
+
+class TestDerivation:
+    def test_with_vdd_is_copy(self):
+        base = CNFETDevice()
+        scaled = base.with_vdd(0.7)
+        assert scaled.vdd == 0.7
+        assert base.vdd == 0.9
+
+    def test_sized_changes_tubes_only(self):
+        sized = CNFETDevice().sized(10)
+        assert sized.n_tubes == 10
+        assert sized.gate_length_nm == CNFETDevice().gate_length_nm
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CNFETDevice().vdd = 1.0

@@ -1,0 +1,117 @@
+"""Unit and property tests for the per-bit energy model (Table I)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cnfet.energy import BitEnergyModel, EnergyModelError, render_table1
+from repro.cnfet.sram import Sram6TCell
+
+
+class TestInvariants:
+    def test_pinned_table_valid(self):
+        model = BitEnergyModel.paper_table1()
+        assert model.e_rd1 < model.e_rd0
+        assert model.e_wr0 < model.e_wr1
+
+    def test_write_asymmetry_close_to_ten(self):
+        model = BitEnergyModel.paper_table1()
+        assert model.write_asymmetry == pytest.approx(10.0, rel=0.05)
+
+    def test_deltas_balanced(self):
+        model = BitEnergyModel.paper_table1()
+        assert model.delta_read == pytest.approx(model.delta_write, rel=0.05)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(EnergyModelError):
+            BitEnergyModel(e_rd0=0, e_rd1=1, e_wr0=1, e_wr1=2)
+
+    def test_rejects_inverted_read_order(self):
+        with pytest.raises(EnergyModelError):
+            BitEnergyModel(e_rd0=1, e_rd1=2, e_wr0=1, e_wr1=2)
+
+    def test_rejects_inverted_write_order(self):
+        with pytest.raises(EnergyModelError):
+            BitEnergyModel(e_rd0=2, e_rd1=1, e_wr0=2, e_wr1=1)
+
+    def test_from_cell_matches_cell(self):
+        cell = Sram6TCell()
+        model = BitEnergyModel.from_cell(cell)
+        assert model.e_rd0 == cell.e_rd0_fj
+        assert model.e_wr1 == cell.e_wr1_fj
+
+    def test_pinned_matches_cell_within_rounding(self):
+        derived = BitEnergyModel.from_cell(Sram6TCell())
+        pinned = BitEnergyModel.paper_table1()
+        assert pinned.e_rd0 == pytest.approx(derived.e_rd0, abs=0.01)
+        assert pinned.e_rd1 == pytest.approx(derived.e_rd1, abs=0.01)
+        assert pinned.e_wr0 == pytest.approx(derived.e_wr0, abs=0.01)
+        assert pinned.e_wr1 == pytest.approx(derived.e_wr1, abs=0.01)
+
+
+class TestAggregates:
+    def test_read_energy_linear(self, model):
+        assert model.read_energy(3, 5) == pytest.approx(
+            3 * model.e_rd1 + 5 * model.e_rd0
+        )
+
+    def test_write_energy_linear(self, model):
+        assert model.write_energy(3, 5) == pytest.approx(
+            3 * model.e_wr1 + 5 * model.e_wr0
+        )
+
+    def test_access_energy_dispatch(self, model):
+        assert model.access_energy(False, 2, 2) == model.read_energy(2, 2)
+        assert model.access_energy(True, 2, 2) == model.write_energy(2, 2)
+
+    def test_encode_switch_is_write_of_new_data(self, model):
+        assert model.encode_switch_energy(10, 54) == model.write_energy(10, 54)
+
+    def test_rejects_negative_counts(self, model):
+        with pytest.raises(EnergyModelError):
+            model.read_energy(-1, 0)
+        with pytest.raises(EnergyModelError):
+            model.write_energy(0, -1)
+
+    @given(
+        ones=st.integers(min_value=0, max_value=512),
+        zeros=st.integers(min_value=0, max_value=512),
+    )
+    def test_all_ones_cheapest_read(self, ones, zeros):
+        """Reading is monotone: more 1s never costs more."""
+        model = BitEnergyModel.paper_table1()
+        total = ones + zeros
+        assert model.read_energy(total, 0) <= model.read_energy(ones, zeros)
+
+    @given(
+        ones=st.integers(min_value=0, max_value=512),
+        zeros=st.integers(min_value=0, max_value=512),
+    )
+    def test_all_zeros_cheapest_write(self, ones, zeros):
+        model = BitEnergyModel.paper_table1()
+        total = ones + zeros
+        assert model.write_energy(0, total) <= model.write_energy(ones, zeros)
+
+
+class TestScaling:
+    def test_scaled_multiplies_everything(self, model):
+        doubled = model.scaled(2.0)
+        assert doubled.e_rd0 == pytest.approx(2 * model.e_rd0)
+        assert doubled.e_wr1 == pytest.approx(2 * model.e_wr1)
+
+    def test_scaled_preserves_asymmetry(self, model):
+        scaled = model.scaled(0.5)
+        assert scaled.write_asymmetry == pytest.approx(model.write_asymmetry)
+
+    def test_rejects_non_positive_factor(self, model):
+        with pytest.raises(EnergyModelError):
+            model.scaled(0.0)
+
+
+class TestRender:
+    def test_render_contains_all_rows(self):
+        text = render_table1()
+        for token in ("read  '0'", "read  '1'", "write '0'", "write '1'"):
+            assert token in text
+
+    def test_render_reports_asymmetry(self):
+        assert "write asymmetry" in render_table1()

@@ -1,0 +1,92 @@
+"""Unit tests for the CNFET 6T SRAM cell energy derivation."""
+
+import pytest
+
+from repro.cnfet.device import CNFETDevice, DeviceModelError
+from repro.cnfet.sram import Sram6TCell, SramArrayGeometry
+
+
+class TestGeometry:
+    def test_defaults(self):
+        geometry = SramArrayGeometry()
+        assert geometry.rows == 64
+        assert geometry.cols == 512
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(DeviceModelError):
+            SramArrayGeometry(rows=1)
+
+    def test_rejects_bad_cols(self):
+        with pytest.raises(DeviceModelError):
+            SramArrayGeometry(cols=0)
+
+    def test_rejects_bad_wire_cap(self):
+        with pytest.raises(DeviceModelError):
+            SramArrayGeometry(wire_cap_per_cell_ff=0.0)
+
+
+class TestCellCalibration:
+    """The two facts the paper pins down about Table I."""
+
+    def test_write_asymmetry_near_10x(self):
+        cell = Sram6TCell()
+        assert cell.write_asymmetry == pytest.approx(10.0, rel=0.05)
+
+    def test_delta_balance_near_one(self):
+        cell = Sram6TCell()
+        assert cell.delta_balance == pytest.approx(1.0, abs=0.05)
+
+    def test_energy_ordering(self):
+        cell = Sram6TCell()
+        assert cell.e_rd1_fj < cell.e_rd0_fj
+        assert cell.e_wr0_fj < cell.e_wr1_fj
+
+    def test_all_energies_positive(self):
+        cell = Sram6TCell()
+        for value in (cell.e_rd0_fj, cell.e_rd1_fj, cell.e_wr0_fj, cell.e_wr1_fj):
+            assert value > 0
+
+
+class TestCellPhysics:
+    def test_bitline_cap_scales_with_rows(self):
+        short = Sram6TCell(geometry=SramArrayGeometry(rows=32))
+        long_ = Sram6TCell(geometry=SramArrayGeometry(rows=128))
+        assert long_.bitline_capacitance_ff == pytest.approx(
+            4 * short.bitline_capacitance_ff
+        )
+
+    def test_longer_bitlines_cost_more_read0(self):
+        short = Sram6TCell(geometry=SramArrayGeometry(rows=32))
+        long_ = Sram6TCell(geometry=SramArrayGeometry(rows=256))
+        assert long_.e_rd0_fj > short.e_rd0_fj
+
+    def test_read1_independent_of_bitline(self):
+        # Reading '1' leaves the bitline high: no length dependence.
+        short = Sram6TCell(geometry=SramArrayGeometry(rows=32))
+        long_ = Sram6TCell(geometry=SramArrayGeometry(rows=256))
+        assert long_.e_rd1_fj == pytest.approx(short.e_rd1_fj)
+
+    def test_stronger_pulldown_raises_write1(self):
+        weak = Sram6TCell(pull_down=CNFETDevice(n_tubes=4))
+        strong = Sram6TCell(pull_down=CNFETDevice(n_tubes=10))
+        assert strong.e_wr1_fj > weak.e_wr1_fj
+
+    def test_mixed_vdd_rejected(self):
+        with pytest.raises(DeviceModelError):
+            Sram6TCell(access=CNFETDevice(vdd=0.8))
+
+    def test_summary_keys(self):
+        summary = Sram6TCell().summary()
+        for key in ("e_rd0_fj", "e_rd1_fj", "e_wr0_fj", "e_wr1_fj",
+                    "write_asymmetry", "delta_balance"):
+            assert key in summary
+
+    def test_lower_vdd_cheaper(self):
+        nominal = Sram6TCell()
+        low = Sram6TCell(
+            access=CNFETDevice(vdd=0.7),
+            pull_down=CNFETDevice(n_tubes=6, vdd=0.7),
+            pull_up=CNFETDevice(n_tubes=2, vdd=0.7, is_pfet=True),
+        )
+        assert low.e_rd0_fj < nominal.e_rd0_fj
+        assert low.e_wr1_fj < nominal.e_wr1_fj

@@ -1,0 +1,77 @@
+"""Tests for the SRAM access-timing model."""
+
+import pytest
+
+from repro.cnfet.sram import Sram6TCell, SramArrayGeometry
+from repro.cnfet.timing import AccessTiming, SramTimingModel, TimingModelError
+
+
+class TestAccessTiming:
+    def test_total_sums_stages(self):
+        timing = AccessTiming(
+            decoder_ps=1.0, wordline_ps=2.0, bitline_ps=3.0,
+            sense_ps=4.0, encoder_ps=5.0,
+        )
+        assert timing.total_ps == pytest.approx(15.0)
+
+    def test_overhead_fraction(self):
+        timing = AccessTiming(
+            decoder_ps=4.0, wordline_ps=0.0, bitline_ps=0.0,
+            sense_ps=0.0, encoder_ps=1.0,
+        )
+        assert timing.encoder_overhead == pytest.approx(0.2)
+
+    def test_as_dict_keys(self):
+        timing = SramTimingModel().access()
+        for key in ("decoder_ps", "bitline_ps", "total_ps", "encoder_overhead"):
+            assert key in timing.as_dict()
+
+
+class TestSramTimingModel:
+    def test_bitline_dominates(self):
+        """The bitline discharge is the critical term in any SRAM."""
+        timing = SramTimingModel().access()
+        assert timing.bitline_ps > timing.decoder_ps
+        assert timing.bitline_ps > timing.sense_ps
+
+    def test_encoder_overhead_negligible(self):
+        """The paper's claim: the inverter+mux barely touches the path."""
+        timing = SramTimingModel().access(encoded=True)
+        assert timing.encoder_overhead < 0.02
+
+    def test_plain_access_has_no_encoder(self):
+        assert SramTimingModel().access(encoded=False).encoder_ps == 0.0
+
+    def test_longer_bitlines_slower(self):
+        short = SramTimingModel(
+            Sram6TCell(geometry=SramArrayGeometry(rows=32))
+        )
+        long_ = SramTimingModel(
+            Sram6TCell(geometry=SramArrayGeometry(rows=256))
+        )
+        assert long_.access().bitline_ps > short.access().bitline_ps
+
+    def test_wider_rows_slower_wordline(self):
+        narrow = SramTimingModel(
+            Sram6TCell(geometry=SramArrayGeometry(cols=128))
+        )
+        wide = SramTimingModel(
+            Sram6TCell(geometry=SramArrayGeometry(cols=1024))
+        )
+        assert wide.access().wordline_ps > narrow.access().wordline_ps
+
+    def test_frequency_sane(self):
+        model = SramTimingModel()
+        frequency = model.max_frequency_ghz()
+        assert 1.0 < frequency < 20.0
+
+    def test_encoded_frequency_slightly_lower(self):
+        model = SramTimingModel()
+        assert model.max_frequency_ghz(True) < model.max_frequency_ghz(False)
+        # ...but by less than 2% (the 'negligible' claim, again).
+        ratio = model.max_frequency_ghz(True) / model.max_frequency_ghz(False)
+        assert ratio > 0.98
+
+    def test_margin_validated(self):
+        with pytest.raises(TimingModelError):
+            SramTimingModel().max_frequency_ghz(margin=1.0)

@@ -1,0 +1,231 @@
+"""Unit tests for the CNT-Cache engine."""
+
+import pytest
+
+from repro.core.cntcache import CNTCache
+from repro.core.config import CNTCacheConfig
+from repro.trace.record import Access
+
+
+def simulate(scheme="cnt", trace=(), preloads=(), **kw):
+    sim = CNTCache(CNTCacheConfig(scheme=scheme, **kw))
+    sim.preload_all(preloads)
+    for access in trace:
+        sim.access(access)
+    return sim
+
+
+class TestCorrectness:
+    def test_write_read_roundtrip_every_scheme(self):
+        for scheme in ("baseline", "static-invert", "fill-greedy", "dbi",
+                       "invert", "cnt"):
+            sim = CNTCache(CNTCacheConfig(scheme=scheme))
+            sim.access(Access.write(0x100, b"ENCODED!"))
+            out = sim.access(Access.read(0x100, bytes(8)))
+            assert out == b"ENCODED!", scheme
+
+    def test_preload_reaches_fills(self):
+        sim = CNTCache(CNTCacheConfig())
+        sim.preload(0x200, b"\xAB" * 64)
+        # A coherent trace records the true memory value at each read.
+        out = sim.access(Access.read(0x210, b"\xAB" * 4))
+        assert out == b"\xAB" * 4
+        # Bytes of the same line never named by any access must also have
+        # been filled from the preloaded image.
+        assert sim.access(Access.read(0x230, b"\xAB" * 4)) == b"\xAB" * 4
+
+    def test_line_crossing_access_split(self):
+        sim = CNTCache(CNTCacheConfig())
+        payload = bytes(range(16))
+        sim.access(Access.write(0x38, payload))  # crosses 0x40
+        assert sim.access(Access.read(0x38, bytes(16))) == payload
+        assert sim.stats.accesses == 4  # two sub-accesses per operation
+
+    def test_stored_is_encoded_logical(self):
+        sim = CNTCache(CNTCacheConfig(scheme="static-invert"))
+        sim.access(Access.write(0x0, b"\x00" * 8))
+        stored = sim.stored_line(0, 0)
+        logical = sim.logical_line(0, 0)
+        assert logical[:8] == b"\x00" * 8
+        assert stored[:8] == b"\xff" * 8  # stored complemented
+
+    def test_decode_invariant_after_switches(self):
+        """decode(stored, directions) == logical even through re-encodes."""
+        config = CNTCacheConfig(window=4, drain_per_access=1)
+        sim = CNTCache(config)
+        payload = bytes(64)
+        sim.access(Access.write(0x0, payload))
+        for _ in range(20):
+            sim.access(Access.read(0x0, bytes(8)))
+        sim.finalize()
+        assert sim.logical_line(0, 0)[:8] == bytes(8)
+        directions = sim.directions_of(0, 0)
+        assert sim.codec.decode(sim.stored_line(0, 0), directions) == (
+            sim.logical_line(0, 0)
+        )
+
+
+class TestCounters:
+    def test_access_counters(self):
+        trace = [
+            Access.write(0x0, b"\x01" * 8),
+            Access.read(0x0, bytes(8)),
+            Access.read(0x40, bytes(8)),
+        ]
+        sim = simulate(trace=trace)
+        assert sim.stats.accesses == 3
+        assert sim.stats.writes == 1
+        assert sim.stats.reads == 2
+        assert sim.stats.misses == 2
+        assert sim.stats.hits == 1
+
+    def test_eviction_and_writeback_counting(self):
+        config = dict(size=2048, assoc=1, line_size=64)  # 32 sets, direct
+        trace = [
+            Access.write(0x0, b"\xFF" * 8),
+            Access.read(2048, bytes(8)),  # same set, evicts dirty line
+        ]
+        sim = simulate(trace=trace, **config)
+        assert sim.stats.evictions == 1
+        assert sim.stats.writebacks == 1
+        assert sim.stats.writeback_fj > 0
+
+    def test_window_completion_counted(self):
+        sim = CNTCache(CNTCacheConfig(window=4))
+        sim.access(Access.write(0x0, b"\x01" * 8))
+        for _ in range(7):
+            sim.access(Access.read(0x0, bytes(8)))
+        assert sim.stats.windows_completed == 2
+
+
+class TestEnergyAccounting:
+    def test_every_component_nonnegative(self, tiny_runs):
+        run = tiny_runs["qsort"]
+        sim = simulate(trace=run.trace, preloads=run.preloads)
+        for key, value in sim.stats.as_dict().items():
+            if isinstance(value, float):
+                assert value >= 0, key
+
+    def test_read_energy_depends_on_stored_bits(self, model):
+        ones_line = [Access.write(0x0, b"\xff" * 8)] + [
+            Access.read(0x0, bytes(8)) for _ in range(10)
+        ]
+        zeros_line = [Access.write(0x0, bytes(8))] + [
+            Access.read(0x0, bytes(8)) for _ in range(10)
+        ]
+        dear = simulate("baseline", zeros_line)  # reading 0s is expensive
+        cheap = simulate("baseline", ones_line)
+        assert dear.stats.data_read_fj > cheap.stats.data_read_fj
+
+    def test_baseline_has_no_metadata_or_logic(self):
+        trace = [Access.write(0x0, b"\x01" * 8), Access.read(0x0, bytes(8))]
+        sim = simulate("baseline", trace)
+        assert sim.stats.metadata_read_fj == 0
+        assert sim.stats.metadata_write_fj == 0
+        assert sim.stats.logic_fj == 0
+
+    def test_cnt_charges_metadata(self):
+        trace = [Access.write(0x0, b"\x01" * 8), Access.read(0x0, bytes(8))]
+        sim = simulate("cnt", trace)
+        assert sim.stats.metadata_read_fj > 0
+        assert sim.stats.metadata_write_fj > 0
+        assert sim.stats.logic_fj > 0
+
+    def test_metadata_accounting_can_be_disabled(self):
+        trace = [Access.write(0x0, b"\x01" * 8)]
+        sim = simulate("cnt", trace, account_metadata=False)
+        assert sim.stats.metadata_write_fj == 0
+
+    def test_peripheral_charged_per_activation(self):
+        trace = [Access.read(0x0, bytes(8))]  # miss: fill + demand
+        sim = simulate("baseline", trace, peripheral_fj_per_access=100.0)
+        assert sim.stats.peripheral_fj == pytest.approx(200.0)
+
+    def test_static_invert_wins_on_zero_read_stream(self):
+        """Reading all-zero data: inverted storage must be cheaper."""
+        trace = [Access.write(0x0, bytes(8))] + [
+            Access.read(0x0, bytes(8)) for _ in range(50)
+        ]
+        base = simulate("baseline", trace)
+        inverted = simulate("static-invert", trace)
+        assert inverted.stats.total_fj < base.stats.total_fj
+
+
+class TestDeferredUpdates:
+    def test_switch_goes_through_fifo(self):
+        config = CNTCacheConfig(
+            window=4, fill_policy="neutral", drain_per_access=0
+        )
+        sim = CNTCache(config)
+        sim.access(Access.write(0x0, bytes(8)))
+        for _ in range(3):
+            sim.access(Access.read(0x0, bytes(8)))
+        # Window of 4 completed on an all-zero read-heavy line: flip queued.
+        assert sim.stats.direction_switches == 1
+        assert sim.pending_updates == 1
+        assert sim.stats.reencode_fj == 0.0  # not drained yet
+
+    def test_drain_applies_and_charges(self):
+        config = CNTCacheConfig(
+            window=4, fill_policy="neutral", drain_per_access=1
+        )
+        sim = CNTCache(config)
+        sim.access(Access.write(0x0, bytes(8)))
+        for _ in range(4):
+            sim.access(Access.read(0x0, bytes(8)))
+        assert sim.pending_updates == 0
+        assert sim.stats.reencode_fj > 0
+        assert any(sim.directions_of(0, 0))
+
+    def test_finalize_drains_remaining(self):
+        config = CNTCacheConfig(
+            window=4, fill_policy="neutral", drain_per_access=0
+        )
+        sim = CNTCache(config)
+        sim.access(Access.write(0x0, bytes(8)))
+        for _ in range(3):
+            sim.access(Access.read(0x0, bytes(8)))
+        assert sim.pending_updates == 1
+        sim.finalize()
+        assert sim.pending_updates == 0
+        assert sim.stats.reencode_fj > 0
+
+    def test_stale_update_dropped_after_eviction(self):
+        config = CNTCacheConfig(
+            size=2048, assoc=1, window=4,
+            fill_policy="neutral", drain_per_access=0,
+        )
+        sim = CNTCache(config)
+        sim.access(Access.write(0x0, bytes(8)))
+        for _ in range(3):
+            sim.access(Access.read(0x0, bytes(8)))
+        assert sim.pending_updates == 1
+        sim.access(Access.read(2048, bytes(8)))  # evicts line 0
+        sim.finalize()
+        assert sim.stats.pending_dropped >= 1
+        assert sim.stats.reencode_fj == 0.0
+
+    def test_forced_drain_on_full_fifo(self):
+        config = CNTCacheConfig(
+            size=4096, assoc=1, window=2, fifo_depth=1,
+            fill_policy="neutral", drain_per_access=0,
+        )
+        sim = CNTCache(config)
+        # Two lines each complete an all-read window on all-zero data,
+        # requesting a flip each; the 1-deep FIFO forces the first out.
+        for base_addr in (0x0, 0x40):
+            sim.access(Access.write(base_addr, bytes(8)))
+            for _ in range(3):
+                sim.access(Access.read(base_addr, bytes(8)))
+        assert sim.stats.direction_switches == 2
+        assert sim.stats.forced_drains >= 1
+
+
+class TestRun:
+    def test_run_returns_stats(self, tiny_runs):
+        run = tiny_runs["stream"]
+        sim = CNTCache(CNTCacheConfig())
+        sim.preload_all(run.preloads)
+        stats = sim.run(run.trace)
+        assert stats is sim.stats
+        assert stats.accesses >= len(run.trace)

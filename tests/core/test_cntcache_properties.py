@@ -1,0 +1,104 @@
+"""Property tests on the full CNT-Cache engine (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cntcache import CNTCache
+from repro.core.config import CNTCacheConfig
+from repro.trace.record import Access
+
+schemes = st.sampled_from(
+    ["baseline", "static-invert", "fill-greedy", "dbi", "invert", "cnt"]
+)
+
+#: Aligned accesses over a tiny footprint (high hit *and* eviction mix).
+operations = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(min_value=0, max_value=31),  # slot
+        st.binary(min_size=8, max_size=8),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def replay(scheme, ops, **kw):
+    config = CNTCacheConfig(
+        scheme=scheme, size=1024, assoc=2, line_size=64, **kw
+    )
+    sim = CNTCache(config)
+    shadow: dict[int, int] = {}
+    for is_write, slot, payload in ops:
+        addr = slot * 8
+        if is_write:
+            sim.access(Access.write(addr, payload))
+            for index, byte in enumerate(payload):
+                shadow[addr + index] = byte
+        else:
+            out = sim.access(Access.read(addr, bytes(8)))
+            for index in range(8):
+                assert out[index] == shadow.get(addr + index, 0)
+    sim.finalize()
+    return sim, shadow
+
+
+@settings(max_examples=40, deadline=None)
+@given(scheme=schemes, ops=operations)
+def test_reads_always_see_latest_writes(scheme, ops):
+    """The fundamental transparency property, under every scheme."""
+    replay(scheme, ops)
+
+
+@settings(max_examples=40, deadline=None)
+@given(scheme=schemes, ops=operations, window=st.sampled_from([2, 4, 8, 16]))
+def test_stored_always_decodes_to_logical(scheme, ops, window):
+    sim, _ = replay(scheme, ops, window=window)
+    for set_index, way, line in sim.cache.iter_valid_lines():
+        stored = sim.stored_line(set_index, way)
+        directions = sim.directions_of(set_index, way)
+        assert sim.codec.decode(stored, directions) == bytes(line.data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(scheme=schemes, ops=operations)
+def test_energy_components_nonnegative_and_consistent(scheme, ops):
+    sim, _ = replay(scheme, ops)
+    stats = sim.stats
+    assert stats.data_read_fj >= 0
+    assert stats.data_write_fj >= 0
+    assert stats.total_fj >= stats.data_fj
+    assert stats.hits + stats.misses == stats.accesses
+    assert stats.reads + stats.writes == stats.accesses
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=operations, drain=st.sampled_from([0, 1, 2]))
+def test_queue_drains_completely_on_finalize(ops, drain):
+    config = CNTCacheConfig(
+        scheme="cnt", size=1024, assoc=2, window=4,
+        fill_policy="neutral", drain_per_access=drain,
+    )
+    sim = CNTCache(config)
+    for is_write, slot, payload in ops:
+        addr = slot * 8
+        if is_write:
+            sim.access(Access.write(addr, payload))
+        else:
+            sim.access(Access.read(addr, bytes(8)))
+    sim.finalize()
+    assert sim.pending_updates == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=operations)
+def test_flips_bounded_by_windows(ops):
+    """Every switch requires a completed window."""
+    config = CNTCacheConfig(scheme="cnt", size=1024, assoc=2, window=4)
+    sim = CNTCache(config)
+    for is_write, slot, payload in ops:
+        addr = slot * 8
+        if is_write:
+            sim.access(Access.write(addr, payload))
+        else:
+            sim.access(Access.read(addr, bytes(8)))
+    assert sim.stats.direction_switches <= sim.stats.windows_completed

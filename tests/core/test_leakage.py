@@ -1,0 +1,122 @@
+"""Tests for the state-dependent leakage extension (A9)."""
+
+import pytest
+
+from repro.cnfet.leakage import DEFAULT_CYCLE_PS, LeakageModel, LeakageModelError
+from repro.core.cntcache import CNTCache
+from repro.core.config import CNTCacheConfig
+from repro.encoding import bits
+from repro.trace.record import Access
+from repro.trace.synth import zipf_trace
+
+
+class TestLeakageModel:
+    def test_from_power_units(self):
+        # 1 nW over 1000 ps = 1e-18 J = 1e-3 fJ.
+        model = LeakageModel.from_power(1.0, 1.0, cycle_ps=1000.0)
+        assert model.e_leak0 == pytest.approx(1e-3)
+
+    def test_technology_presets_ordered(self):
+        cnfet = LeakageModel.cnfet()
+        cmos = LeakageModel.cmos()
+        assert cmos.e_leak0 > 20 * cnfet.e_leak0
+
+    def test_state_dependence(self):
+        model = LeakageModel.cnfet()
+        assert model.e_leak1 > model.e_leak0
+
+    def test_cycle_energy_linear(self):
+        model = LeakageModel(e_leak0=1.0, e_leak1=2.0)
+        assert model.cycle_energy(3, 5) == pytest.approx(11.0)
+
+    def test_validation(self):
+        with pytest.raises(LeakageModelError):
+            LeakageModel(e_leak0=-1.0, e_leak1=0.0)
+        with pytest.raises(LeakageModelError):
+            LeakageModel.from_power(1.0, 1.0, cycle_ps=0.0)
+        with pytest.raises(LeakageModelError):
+            LeakageModel(1.0, 1.0).cycle_energy(-1, 0)
+
+    def test_default_cycle_matches_timing_model(self):
+        from repro.cnfet.timing import SramTimingModel
+
+        access_ps = SramTimingModel().access(encoded=True).total_ps
+        assert access_ps < DEFAULT_CYCLE_PS < 2 * access_ps
+
+
+def _tracked_vs_recomputed(sim: CNTCache) -> tuple[int, int]:
+    recomputed = 0
+    for set_index, way, line in sim.cache.iter_valid_lines():
+        recomputed += bits.popcount(sim.stored_line(set_index, way))
+    return sim._stored_ones, recomputed
+
+
+class TestContentTracking:
+    @pytest.mark.parametrize("scheme", ["baseline", "dbi", "cnt"])
+    def test_tracked_population_exact(self, scheme):
+        """The incremental counter always equals a full recount."""
+        config = CNTCacheConfig(
+            scheme=scheme, size=2048, assoc=2, window=4,
+            leakage=LeakageModel.cnfet(),
+        )
+        sim = CNTCache(config)
+        trace = zipf_trace(
+            1500, footprint=1 << 13, write_ratio=0.4, ones_density=0.3,
+            seed=9,
+        )
+        for index, access in enumerate(trace):
+            sim.access(access)
+            if index % 250 == 0:
+                tracked, recomputed = _tracked_vs_recomputed(sim)
+                assert tracked == recomputed, index
+        sim.finalize()
+        tracked, recomputed = _tracked_vs_recomputed(sim)
+        assert tracked == recomputed
+
+    def test_leakage_accumulates_per_access(self):
+        config = CNTCacheConfig(leakage=LeakageModel.cnfet())
+        sim = CNTCache(config)
+        sim.access(Access.write(0x0, b"\xff" * 8))
+        first = sim.stats.leakage_fj
+        assert first > 0
+        sim.access(Access.read(0x0, b"\xff" * 8))
+        assert sim.stats.leakage_fj > first
+
+    def test_leakage_off_by_default(self, tiny_runs):
+        run = tiny_runs["stream"]
+        sim = CNTCache(CNTCacheConfig())
+        sim.preload_all(run.preloads)
+        sim.run(run.trace)
+        assert sim.stats.leakage_fj == 0.0
+
+    def test_cnfet_leakage_negligible_vs_dynamic(self, tiny_runs):
+        """The extension's headline finding: static << dynamic for CNFET."""
+        run = tiny_runs["qsort"]
+        sim = CNTCache(CNTCacheConfig(leakage=LeakageModel.cnfet()))
+        sim.preload_all(run.preloads)
+        sim.run(run.trace)
+        assert sim.stats.leakage_fj < 0.01 * sim.stats.total_fj
+
+    def test_cmos_leakage_not_negligible(self, tiny_runs):
+        run = tiny_runs["qsort"]
+        sim = CNTCache(CNTCacheConfig(leakage=LeakageModel.cmos()))
+        sim.preload_all(run.preloads)
+        sim.run(run.trace)
+        assert sim.stats.leakage_fj > 0.01 * sim.stats.total_fj
+
+    def test_inverted_storage_leaks_more(self):
+        """Storing mostly-1s (read-greedy) costs extra static energy."""
+        trace = [Access.write(0x40 * i, bytes(64)) for i in range(32)]
+        trace += [Access.read(0x40 * i, bytes(64)) for i in range(32)] * 3
+        base = CNTCache(
+            CNTCacheConfig(scheme="baseline", leakage=LeakageModel.cnfet())
+        )
+        base.run(trace)
+        cnt = CNTCache(
+            CNTCacheConfig(scheme="cnt", leakage=LeakageModel.cnfet())
+        )
+        cnt.run(trace)
+        # All-zero data stored inverted -> more stored 1s -> more leakage...
+        assert cnt.stats.leakage_fj > base.stats.leakage_fj
+        # ...but the dynamic saving dwarfs the static penalty.
+        assert cnt.stats.total_fj < base.stats.total_fj

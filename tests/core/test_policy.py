@@ -1,0 +1,122 @@
+"""Unit tests for the encoding policies."""
+
+import pytest
+
+from repro.core.config import CNTCacheConfig
+from repro.core.policy import (
+    AdaptivePolicy,
+    BaselinePolicy,
+    DBIPolicy,
+    FillGreedyPolicy,
+    StaticInvertPolicy,
+    make_policy,
+)
+
+
+class TestFactory:
+    def test_scheme_to_policy(self):
+        cases = {
+            "baseline": BaselinePolicy,
+            "static-invert": StaticInvertPolicy,
+            "fill-greedy": FillGreedyPolicy,
+            "dbi": DBIPolicy,
+            "invert": AdaptivePolicy,
+            "cnt": AdaptivePolicy,
+        }
+        for scheme, cls in cases.items():
+            assert isinstance(
+                make_policy(CNTCacheConfig(scheme=scheme)), cls
+            )
+
+    def test_invert_is_single_partition(self):
+        policy = make_policy(CNTCacheConfig(scheme="invert"))
+        assert policy.codec.n_partitions == 1
+
+    def test_cnt_partition_count(self):
+        policy = make_policy(CNTCacheConfig(scheme="cnt", partitions=16))
+        assert policy.codec.n_partitions == 16
+
+
+class TestBaseline:
+    def test_neutral_everything(self):
+        policy = BaselinePolicy(64)
+        assert policy.initial_directions(bytes(64)) == (False,)
+        assert not policy.uses_history
+        assert policy.window_outcome(bytes(64), (False,), 0) is None
+
+
+class TestStaticInvert:
+    def test_always_inverted(self):
+        policy = StaticInvertPolicy(64)
+        assert policy.initial_directions(bytes(64)) == (True,)
+        assert policy.initial_directions(b"\xff" * 64) == (True,)
+
+
+class TestFillGreedy:
+    def test_prefers_write_zeros(self):
+        policy = FillGreedyPolicy(16, partitions=2)
+        ones_heavy = b"\xff" * 8 + b"\x00" * 8
+        assert policy.initial_directions(ones_heavy) == (True, False)
+
+    def test_never_changes_after_fill(self):
+        policy = FillGreedyPolicy(16, partitions=2)
+        current = (True, False)
+        assert policy.write_directions(b"\x00" * 16, current, 0, 16) == current
+
+
+class TestDBI:
+    def test_fill_greedy_zeros(self):
+        policy = DBIPolicy(16, word_bytes=4)
+        data = b"\xff" * 4 + b"\x00" * 12
+        assert policy.initial_directions(data) == (True, False, False, False)
+
+    def test_full_word_write_revotes(self):
+        policy = DBIPolicy(16, word_bytes=4)
+        current = (False,) * 4
+        after = b"\xff" * 4 + b"\x00" * 12
+        updated = policy.write_directions(after, current, 0, 4)
+        assert updated == (True, False, False, False)
+
+    def test_partial_word_write_keeps_flag(self):
+        policy = DBIPolicy(16, word_bytes=4)
+        current = (False,) * 4
+        after = b"\xff" * 16
+        # Writing bytes [1, 3): word 0 only partially covered.
+        assert policy.write_directions(after, current, 1, 2) == current
+
+    def test_straddling_write_revotes_only_full_words(self):
+        policy = DBIPolicy(16, word_bytes=4)
+        current = (False,) * 4
+        after = b"\xff" * 16
+        # Bytes [2, 10): covers word 1 fully, words 0 and 2 partially.
+        updated = policy.write_directions(after, current, 2, 8)
+        assert updated == (False, True, False, False)
+
+
+class TestAdaptive:
+    def test_read_greedy_fill(self, model):
+        policy = AdaptivePolicy(16, 2, 16, model, fill_policy="read-greedy")
+        data = b"\x00" * 8 + b"\xff" * 8
+        assert policy.initial_directions(data) == (True, False)
+
+    def test_write_greedy_fill(self, model):
+        policy = AdaptivePolicy(16, 2, 16, model, fill_policy="write-greedy")
+        data = b"\x00" * 8 + b"\xff" * 8
+        assert policy.initial_directions(data) == (False, True)
+
+    def test_neutral_fill(self, model):
+        policy = AdaptivePolicy(16, 2, 16, model, fill_policy="neutral")
+        assert policy.initial_directions(b"\xff" * 16) == (False, False)
+
+    def test_uses_history(self, model):
+        assert AdaptivePolicy(64, 8, 16, model).uses_history
+
+    def test_window_outcome_runs_algorithm1(self, model):
+        policy = AdaptivePolicy(64, 1, 16, model, fill_policy="neutral")
+        outcome = policy.window_outcome(bytes(64), (False,), wr_num=0)
+        assert outcome is not None
+        assert outcome.any_flip  # all-zero stored line, read window
+
+    def test_rejects_unknown_fill_policy(self, model):
+        with pytest.raises(Exception):
+            AdaptivePolicy(64, 8, 16, model, fill_policy="bogus")

@@ -1,0 +1,59 @@
+"""Tests for configuration presets."""
+
+import pytest
+
+from repro.core.config import CNTCacheConfig, ConfigError
+from repro.core.presets import preset, preset_names
+
+
+class TestPresets:
+    def test_all_presets_valid(self):
+        for name in preset_names():
+            config = preset(name)
+            assert isinstance(config, CNTCacheConfig), name
+
+    def test_paper_is_default(self):
+        assert preset("paper") == CNTCacheConfig()
+
+    def test_paper_baseline_scheme(self):
+        assert preset("paper-baseline").scheme == "baseline"
+
+    def test_whole_line_is_invert(self):
+        config = preset("whole-line")
+        assert config.scheme == "invert"
+        assert config.direction_bits_per_line == 1
+
+    def test_low_power_uses_quantised_counter(self):
+        config = preset("low-power")
+        assert config.scheme == "cnt-quant"
+        assert config.window == 8
+
+    def test_embedded_geometry(self):
+        config = preset("embedded")
+        assert config.size == 8 * 1024
+        assert config.write_policy == "wt-nwa"
+
+    def test_l2_geometry(self):
+        config = preset("l2")
+        assert config.size == 256 * 1024
+        assert config.fill_policy == "write-greedy"
+
+    def test_total_power_has_leakage(self):
+        assert preset("total-power").leakage is not None
+        assert preset("paper").leakage is None
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigError):
+            preset("quantum")
+
+    def test_presets_are_fresh_instances(self):
+        assert preset("paper") is not preset("paper")
+
+    def test_presets_simulate(self):
+        from repro.core.cntcache import CNTCache
+        from repro.trace.record import Access
+
+        for name in preset_names():
+            sim = CNTCache(preset(name))
+            sim.access(Access.write(0x100, b"PRESETS!"))
+            assert sim.access(Access.read(0x100, b"PRESETS!")) == b"PRESETS!"

@@ -1,0 +1,78 @@
+"""Tests for the cnt-quant scheme (2-bit write-intensity counter)."""
+
+import pytest
+
+from repro.core.cntcache import CNTCache
+from repro.core.config import CNTCacheConfig
+from repro.core.policy import QuantizedAdaptivePolicy, make_policy
+from repro.trace.record import Access
+
+
+class TestQuantization:
+    @pytest.fixture()
+    def policy(self, model):
+        return QuantizedAdaptivePolicy(64, 8, 16, model)
+
+    def test_buckets(self, policy):
+        # W = 16: buckets [0,4), [4,8), [8,12), [12,16] -> reps 2, 6, 10, 14.
+        assert policy._quantize(0) == 2
+        assert policy._quantize(3) == 2
+        assert policy._quantize(4) == 6
+        assert policy._quantize(7) == 6
+        assert policy._quantize(8) == 10
+        assert policy._quantize(12) == 14
+        assert policy._quantize(16) == 14
+
+    def test_representative_in_range(self, model):
+        for window in (4, 8, 16, 32):
+            policy = QuantizedAdaptivePolicy(64, 8, window, model)
+            for wr_num in range(window + 1):
+                assert 0 <= policy._quantize(wr_num) <= window
+
+    def test_extreme_windows_still_decisive(self, policy):
+        """All-read and all-write windows still produce correct flips."""
+        zeros = bytes(64)
+        outcome_read = policy.window_outcome(zeros, (False,) * 8, wr_num=0)
+        assert outcome_read.any_flip  # zero line, read window -> invert
+        outcome_write = policy.window_outcome(zeros, (False,) * 8, wr_num=16)
+        assert not outcome_write.any_flip  # zeros are already write-optimal
+
+
+class TestScheme:
+    def test_factory(self):
+        policy = make_policy(CNTCacheConfig(scheme="cnt-quant"))
+        assert isinstance(policy, QuantizedAdaptivePolicy)
+
+    def test_metadata_cheaper_than_cnt(self):
+        quant = CNTCacheConfig(scheme="cnt-quant")
+        exact = CNTCacheConfig(scheme="cnt")
+        assert quant.history_bits_per_line < exact.history_bits_per_line
+        assert quant.history_bits_per_line == 6  # 4 (A_num) + 2 (Wr bias)
+
+    def test_correctness(self):
+        sim = CNTCache(CNTCacheConfig(scheme="cnt-quant"))
+        sim.access(Access.write(0x100, b"QUANTIZE"))
+        assert sim.access(Access.read(0x100, bytes(8))) == b"QUANTIZE"
+
+    def test_saves_on_zero_read_stream(self):
+        trace = [Access.write(0x0, bytes(8))]
+        trace += [Access.read(0x0, bytes(8))] * 100
+        base = CNTCache(CNTCacheConfig(scheme="baseline"))
+        base.run(trace)
+        quant = CNTCache(CNTCacheConfig(scheme="cnt-quant"))
+        quant.run(trace)
+        assert quant.stats.savings_vs(base.stats) > 0.2
+
+    def test_close_to_exact_counter(self, tiny_runs):
+        """Quantisation costs at most a few points on any workload."""
+        for name in ("dijkstra", "qsort", "records"):
+            run = tiny_runs[name]
+            results = {}
+            for scheme in ("baseline", "cnt", "cnt-quant"):
+                sim = CNTCache(CNTCacheConfig(scheme=scheme))
+                sim.preload_all(run.preloads)
+                sim.run(run.trace)
+                results[scheme] = sim.stats
+            exact = results["cnt"].savings_vs(results["baseline"])
+            quant = results["cnt-quant"].savings_vs(results["baseline"])
+            assert abs(exact - quant) < 0.05, name

@@ -1,0 +1,90 @@
+"""Cross-scheme invariants: encoding must be architecturally invisible."""
+
+import pytest
+
+from repro.core.cntcache import CNTCache
+from repro.core.config import CNTCacheConfig, SCHEMES
+from repro.trace.synth import zipf_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return zipf_trace(
+        3000, footprint=1 << 13, write_ratio=0.3, ones_density=0.3, seed=11
+    )
+
+
+@pytest.fixture(scope="module")
+def sims(trace):
+    out = {}
+    for scheme in SCHEMES:
+        sim = CNTCache(CNTCacheConfig(scheme=scheme, size=4096, assoc=2))
+        for access in trace:
+            sim.access(access)
+        sim.finalize()
+        out[scheme] = sim
+    return out
+
+
+class TestArchitecturalTransparency:
+    def test_identical_hit_miss_profile(self, sims):
+        """Encoding changes energy, never the hit/miss behaviour."""
+        reference = sims["baseline"].stats
+        for scheme, sim in sims.items():
+            stats = sim.stats
+            assert stats.hits == reference.hits, scheme
+            assert stats.misses == reference.misses, scheme
+            assert stats.evictions == reference.evictions, scheme
+            assert stats.writebacks == reference.writebacks, scheme
+
+    def test_identical_logical_contents(self, sims, trace):
+        """All schemes end the run with the same program-visible state."""
+        reference = sims["baseline"]
+        for scheme, sim in sims.items():
+            for set_index, way, line in sim.cache.iter_valid_lines():
+                ref_line = reference.cache.line_at(set_index, way)
+                assert ref_line.valid, scheme
+                assert bytes(line.data) == bytes(ref_line.data), scheme
+
+    def test_identical_replayed_reads(self, trace):
+        """Reads return byte-identical data under every scheme."""
+        outputs = []
+        for scheme in SCHEMES:
+            sim = CNTCache(CNTCacheConfig(scheme=scheme, size=4096, assoc=2))
+            outputs.append([sim.access(access) for access in trace])
+        first = outputs[0]
+        for scheme, output in zip(SCHEMES[1:], outputs[1:]):
+            assert output == first, scheme
+
+    def test_stored_decodes_to_logical(self, sims):
+        """decode(stored, directions) == logical for every resident line."""
+        for scheme, sim in sims.items():
+            for set_index, way, line in sim.cache.iter_valid_lines():
+                stored = sim.stored_line(set_index, way)
+                directions = sim.directions_of(set_index, way)
+                assert sim.codec.decode(stored, directions) == bytes(line.data), (
+                    scheme
+                )
+
+
+class TestEnergyOrdering:
+    def test_baseline_data_energy_is_unencoded(self, sims, trace):
+        """Baseline stored bits == logical bits, so energies coincide with
+        a direct recomputation from the trace's line-level activity."""
+        baseline = sims["baseline"]
+        for set_index, way, line in baseline.cache.iter_valid_lines():
+            assert baseline.stored_line(set_index, way) == bytes(line.data)
+
+    def test_every_scheme_total_positive(self, sims):
+        for scheme, sim in sims.items():
+            assert sim.stats.total_fj > 0, scheme
+
+    def test_identical_peripheral_across_schemes(self, sims):
+        reference = sims["baseline"].stats.peripheral_fj
+        for scheme, sim in sims.items():
+            # Same demand/fill/writeback counts -> same peripheral, except
+            # adaptive schemes add one activation per applied re-encode.
+            extra = sim.stats.peripheral_fj - reference
+            assert extra >= 0, scheme
+            if scheme in ("baseline", "static-invert", "fill-greedy", "dbi"):
+                assert extra == 0, scheme

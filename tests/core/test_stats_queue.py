@@ -1,0 +1,113 @@
+"""Unit tests for EnergyStats and the deferred-update queue."""
+
+import pytest
+
+from repro.core.stats import ENERGY_COMPONENTS, EnergyStats, StatsError
+from repro.core.update_queue import PendingUpdate, QueueError, UpdateQueue
+
+
+class TestEnergyStats:
+    def test_total_sums_components(self):
+        stats = EnergyStats()
+        for index, name in enumerate(ENERGY_COMPONENTS, start=1):
+            setattr(stats, name, float(index))
+        assert stats.total_fj == pytest.approx(
+            sum(range(1, len(ENERGY_COMPONENTS) + 1))
+        )
+
+    def test_data_vs_overhead_partition(self):
+        stats = EnergyStats(
+            data_read_fj=10, metadata_read_fj=3, logic_fj=2, peripheral_fj=5
+        )
+        assert stats.data_fj == 10
+        assert stats.overhead_fj == 5
+        assert stats.total_fj == 20
+
+    def test_hit_rate(self):
+        stats = EnergyStats(accesses=10, hits=7)
+        assert stats.hit_rate == pytest.approx(0.7)
+        assert EnergyStats().hit_rate == 0.0
+
+    def test_energy_per_access(self):
+        stats = EnergyStats(accesses=4, data_read_fj=100.0)
+        assert stats.energy_per_access_fj == pytest.approx(25.0)
+
+    def test_savings_vs(self):
+        base = EnergyStats(data_read_fj=100.0)
+        better = EnergyStats(data_read_fj=78.0)
+        assert better.savings_vs(base) == pytest.approx(0.22)
+
+    def test_savings_vs_rejects_zero_baseline(self):
+        with pytest.raises(StatsError):
+            EnergyStats().savings_vs(EnergyStats())
+
+    def test_addition(self):
+        a = EnergyStats(accesses=2, data_read_fj=1.0, extra={"x": 1.0})
+        b = EnergyStats(accesses=3, data_read_fj=2.0, extra={"x": 2.0, "y": 5.0})
+        merged = a + b
+        assert merged.accesses == 5
+        assert merged.data_read_fj == pytest.approx(3.0)
+        assert merged.extra == {"x": 3.0, "y": 5.0}
+
+    def test_as_dict_has_derived_fields(self):
+        as_dict = EnergyStats().as_dict()
+        for key in ("total_fj", "hit_rate", "energy_per_access_fj"):
+            assert key in as_dict
+
+    def test_report_mentions_all_components(self):
+        text = EnergyStats().report()
+        for name in ENERGY_COMPONENTS:
+            assert name in text
+
+
+class TestUpdateQueue:
+    def make_update(self, tag=0):
+        return PendingUpdate(set_index=0, way=0, tag=tag, new_directions=(True,))
+
+    def test_fifo_order(self):
+        queue = UpdateQueue(depth=4)
+        for tag in range(3):
+            assert queue.push(self.make_update(tag)) is None
+        assert queue.pop().tag == 0
+        assert queue.pop().tag == 1
+
+    def test_forced_eviction_when_full(self):
+        queue = UpdateQueue(depth=2)
+        queue.push(self.make_update(0))
+        queue.push(self.make_update(1))
+        forced = queue.push(self.make_update(2))
+        assert forced is not None
+        assert forced.tag == 0
+        assert queue.forced == 1
+        assert len(queue) == 2
+
+    def test_pop_empty_returns_none(self):
+        assert UpdateQueue(depth=1).pop() is None
+
+    def test_discard_line(self):
+        queue = UpdateQueue(depth=8)
+        queue.push(PendingUpdate(0, 0, 1, (True,)))
+        queue.push(PendingUpdate(0, 1, 2, (True,)))
+        queue.push(PendingUpdate(0, 0, 3, (True,)))
+        assert queue.discard_line(0, 0) == 2
+        assert len(queue) == 1
+        assert queue.pop().tag == 2
+
+    def test_drain_all(self):
+        queue = UpdateQueue(depth=8)
+        for tag in range(5):
+            queue.push(self.make_update(tag))
+        drained = queue.drain_all()
+        assert [update.tag for update in drained] == [0, 1, 2, 3, 4]
+        assert len(queue) == 0
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(QueueError):
+            UpdateQueue(depth=0)
+
+    def test_counters(self):
+        queue = UpdateQueue(depth=1)
+        queue.push(self.make_update(0))
+        queue.push(self.make_update(1))
+        assert queue.enqueued == 2
+        assert queue.forced == 1

@@ -1,0 +1,134 @@
+"""Unit tests for bit utilities."""
+
+import pytest
+
+from repro.encoding.bits import (
+    BitUtilError,
+    apply_directions,
+    count_ones,
+    count_zeros,
+    encoded_slice,
+    invert_bytes,
+    join_partitions,
+    ones_per_partition,
+    popcount,
+    split_partitions,
+    xor_mask_for_directions,
+)
+
+
+class TestPopcount:
+    def test_empty(self):
+        assert popcount(b"") == 0
+
+    def test_all_ones(self):
+        assert popcount(b"\xff" * 8) == 64
+
+    def test_known_value(self):
+        assert popcount(bytes([0b1011_0001])) == 4
+
+    def test_aliases(self):
+        data = b"\x0f\xf0"
+        assert count_ones(data) == 8
+        assert count_zeros(data) == 8
+
+    def test_zeros_complement_ones(self):
+        data = bytes(range(256))
+        assert count_ones(data) + count_zeros(data) == 256 * 8
+
+
+class TestInvert:
+    def test_involution(self):
+        data = bytes(range(64))
+        assert invert_bytes(invert_bytes(data)) == data
+
+    def test_complements_population(self):
+        data = b"\x01\x80\xff\x00"
+        assert count_ones(invert_bytes(data)) == count_zeros(data)
+
+    def test_empty(self):
+        assert invert_bytes(b"") == b""
+
+
+class TestPartitions:
+    def test_roundtrip(self):
+        data = bytes(range(64))
+        assert join_partitions(split_partitions(data, 8)) == data
+
+    def test_widths(self):
+        parts = split_partitions(bytes(64), 4)
+        assert len(parts) == 4
+        assert all(len(part) == 16 for part in parts)
+
+    def test_single_partition(self):
+        data = bytes(range(16))
+        assert split_partitions(data, 1) == [data]
+
+    def test_rejects_uneven(self):
+        with pytest.raises(BitUtilError):
+            split_partitions(bytes(10), 3)
+
+    def test_rejects_zero(self):
+        with pytest.raises(BitUtilError):
+            split_partitions(bytes(8), 0)
+
+    def test_ones_per_partition(self):
+        data = b"\xff" * 8 + b"\x00" * 8
+        assert ones_per_partition(data, 2) == [64, 0]
+
+
+class TestApplyDirections:
+    def test_empty_directions_identity(self):
+        data = bytes(range(32))
+        assert apply_directions(data, ()) == data
+
+    def test_all_false_identity(self):
+        data = bytes(range(32))
+        assert apply_directions(data, (False,) * 4) == data
+
+    def test_all_true_full_invert(self):
+        data = bytes(range(32))
+        assert apply_directions(data, (True,) * 4) == invert_bytes(data)
+
+    def test_selective(self):
+        data = b"\x00" * 8 + b"\xff" * 8
+        out = apply_directions(data, (True, False))
+        assert out == b"\xff" * 16
+
+    def test_involution(self):
+        data = bytes(range(64))
+        directions = (True, False, True, True, False, False, True, False)
+        assert apply_directions(apply_directions(data, directions), directions) == data
+
+
+class TestXorMask:
+    def test_matches_apply(self):
+        data = bytes(range(16))
+        directions = (True, False)
+        mask = xor_mask_for_directions(16, 2, directions)
+        xored = bytes(a ^ b for a, b in zip(data, mask))
+        assert xored == apply_directions(data, directions)
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(BitUtilError):
+            xor_mask_for_directions(16, 2, (True,))
+
+
+class TestEncodedSlice:
+    def test_matches_full_transform(self):
+        data = bytes(range(64))
+        directions = (True, False, True, False, True, False, True, False)
+        full = apply_directions(data, directions)
+        for offset, size in ((0, 64), (0, 8), (8, 8), (4, 16), (60, 4), (7, 2)):
+            assert (
+                encoded_slice(data, directions, offset, size)
+                == full[offset : offset + size]
+            )
+
+    def test_empty_directions(self):
+        data = bytes(range(16))
+        assert encoded_slice(data, (), 4, 4) == data[4:8]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(BitUtilError):
+            encoded_slice(bytes(16), (False, False), 12, 8)

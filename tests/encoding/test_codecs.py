@@ -1,0 +1,128 @@
+"""Unit tests for the line codecs."""
+
+import pytest
+
+from repro.encoding import (
+    FullLineInvertCodec,
+    IdentityCodec,
+    PartitionedInvertCodec,
+    WordDBICodec,
+)
+from repro.encoding.base import CodecError
+from repro.encoding.bits import invert_bytes
+
+
+class TestIdentity:
+    def test_zero_direction_bits(self):
+        assert IdentityCodec(64).direction_bits == 0
+
+    def test_passthrough(self):
+        codec = IdentityCodec(16)
+        data = bytes(range(16))
+        assert codec.encode(data, (False,)) == data
+        assert codec.decode(data, (False,)) == data
+
+    def test_refuses_inversion(self):
+        with pytest.raises(CodecError):
+            IdentityCodec(16).apply(bytes(16), (True,))
+
+    def test_greedy_always_neutral(self):
+        codec = IdentityCodec(16)
+        assert codec.greedy_directions(b"\x00" * 16, prefer_ones=True) == (False,)
+
+
+class TestFullLineInvert:
+    def test_one_partition(self):
+        codec = FullLineInvertCodec(64)
+        assert codec.n_partitions == 1
+        assert codec.direction_bits == 1
+
+    def test_invert_roundtrip(self):
+        codec = FullLineInvertCodec(32)
+        data = bytes(range(32))
+        stored = codec.encode(data, (True,))
+        assert stored == invert_bytes(data)
+        assert codec.decode(stored, (True,)) == data
+
+    def test_greedy_prefers_majority(self):
+        codec = FullLineInvertCodec(8)
+        mostly_zero = b"\x01" + bytes(7)
+        assert codec.greedy_directions(mostly_zero, prefer_ones=True) == (True,)
+        assert codec.greedy_directions(mostly_zero, prefer_ones=False) == (False,)
+
+
+class TestPartitioned:
+    def test_partition_structure(self):
+        codec = PartitionedInvertCodec(64, 8)
+        assert codec.n_partitions == 8
+        assert codec.partition_bytes == 8
+        assert codec.partition_bits == 64
+        assert codec.direction_bits == 8
+
+    def test_rejects_uneven_partitions(self):
+        with pytest.raises(CodecError):
+            PartitionedInvertCodec(64, 7)
+
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(CodecError):
+            PartitionedInvertCodec(64, 0)
+
+    def test_selective_inversion(self):
+        codec = PartitionedInvertCodec(16, 2)
+        data = b"\x00" * 8 + b"\xff" * 8
+        stored = codec.encode(data, (True, False))
+        assert stored == b"\xff" * 16
+
+    def test_roundtrip_every_direction_combo(self):
+        codec = PartitionedInvertCodec(16, 4)
+        data = bytes(range(16))
+        for mask in range(16):
+            directions = tuple(bool(mask >> bit & 1) for bit in range(4))
+            assert codec.decode(codec.encode(data, directions), directions) == data
+
+    def test_wrong_direction_width_rejected(self):
+        codec = PartitionedInvertCodec(16, 4)
+        with pytest.raises(CodecError):
+            codec.apply(bytes(16), (True, False))
+
+    def test_wrong_line_size_rejected(self):
+        codec = PartitionedInvertCodec(16, 4)
+        with pytest.raises(CodecError):
+            codec.apply(bytes(8), (False,) * 4)
+
+    def test_greedy_per_partition(self):
+        codec = PartitionedInvertCodec(16, 2)
+        data = b"\x00" * 8 + b"\xff" * 8
+        assert codec.greedy_directions(data, prefer_ones=True) == (True, False)
+        assert codec.greedy_directions(data, prefer_ones=False) == (False, True)
+
+    def test_greedy_tie_keeps_uninverted(self):
+        codec = PartitionedInvertCodec(2, 1)
+        balanced = b"\x0f\xf0"  # exactly half ones
+        assert codec.greedy_directions(balanced, prefer_ones=True) == (False,)
+
+    def test_ones_per_partition(self):
+        codec = PartitionedInvertCodec(16, 4)
+        data = b"\xff" * 4 + b"\x00" * 4 + b"\x0f" * 4 + b"\x01" * 4
+        assert codec.ones_per_partition(data) == [32, 0, 16, 4]
+
+    def test_neutral_directions(self):
+        assert PartitionedInvertCodec(64, 8).neutral_directions() == (False,) * 8
+
+
+class TestWordDBI:
+    def test_word_partitioning(self):
+        codec = WordDBICodec(64, word_bytes=4)
+        assert codec.n_partitions == 16
+        assert codec.partition_bytes == 4
+
+    def test_rejects_non_dividing_word(self):
+        with pytest.raises(CodecError):
+            WordDBICodec(64, word_bytes=7)
+
+    def test_rejects_zero_word(self):
+        with pytest.raises(CodecError):
+            WordDBICodec(64, word_bytes=0)
+
+    def test_default_word_is_32bit(self):
+        assert WordDBICodec(64).word_bytes == 4

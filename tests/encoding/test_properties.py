@@ -1,0 +1,92 @@
+"""Property-based tests (hypothesis) on codec and bit-utility invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.encoding import PartitionedInvertCodec
+from repro.encoding.bits import (
+    apply_directions,
+    count_ones,
+    count_zeros,
+    encoded_slice,
+    invert_bytes,
+    join_partitions,
+    popcount,
+    split_partitions,
+)
+
+lines = st.binary(min_size=64, max_size=64)
+partition_counts = st.sampled_from([1, 2, 4, 8, 16, 32, 64])
+
+
+@st.composite
+def line_and_directions(draw):
+    data = draw(lines)
+    k = draw(partition_counts)
+    directions = tuple(draw(st.booleans()) for _ in range(k))
+    return data, directions
+
+
+@given(data=st.binary(max_size=256))
+def test_popcount_matches_naive(data):
+    assert popcount(data) == sum(bin(byte).count("1") for byte in data)
+
+
+@given(data=st.binary(max_size=256))
+def test_invert_flips_population(data):
+    assert count_ones(invert_bytes(data)) == count_zeros(data)
+
+
+@given(data=st.binary(min_size=1, max_size=256), k=partition_counts)
+def test_partition_roundtrip(data, k):
+    if len(data) % k:
+        data = data + bytes(k - len(data) % k)
+    assert join_partitions(split_partitions(data, k)) == data
+
+
+@given(case=line_and_directions())
+def test_apply_directions_is_involution(case):
+    data, directions = case
+    once = apply_directions(data, directions)
+    assert apply_directions(once, directions) == data
+
+
+@given(case=line_and_directions())
+def test_apply_directions_preserves_length(case):
+    data, directions = case
+    assert len(apply_directions(data, directions)) == len(data)
+
+
+@given(case=line_and_directions())
+def test_codec_roundtrip(case):
+    data, directions = case
+    codec = PartitionedInvertCodec(len(data), len(directions))
+    assert codec.decode(codec.encode(data, directions), directions) == data
+
+
+@given(case=line_and_directions(), prefer_ones=st.booleans())
+def test_greedy_never_worse_than_neutral(case, prefer_ones):
+    """Greedy directions maximise the preferred bit population."""
+    data, directions = case
+    codec = PartitionedInvertCodec(len(data), len(directions))
+    greedy = codec.greedy_directions(data, prefer_ones)
+    greedy_stored = codec.encode(data, greedy)
+    neutral_stored = data
+    if prefer_ones:
+        assert count_ones(greedy_stored) >= count_ones(neutral_stored)
+    else:
+        assert count_zeros(greedy_stored) >= count_zeros(neutral_stored)
+
+
+@given(
+    case=line_and_directions(),
+    offset=st.integers(min_value=0, max_value=63),
+    size=st.integers(min_value=1, max_value=64),
+)
+def test_encoded_slice_matches_full(case, offset, size):
+    data, directions = case
+    size = min(size, len(data) - offset)
+    full = apply_directions(data, directions)
+    assert (
+        encoded_slice(data, directions, offset, size)
+        == full[offset : offset + size]
+    )

@@ -1,0 +1,101 @@
+"""Unit tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.harness.charts import (
+    ChartError,
+    bar_chart,
+    column_chart,
+    sparkline,
+)
+
+
+class TestBarChart:
+    def test_basic_structure(self):
+        text = bar_chart({"alpha": 10.0, "beta": 5.0}, width=10, unit="%")
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("alpha")
+        assert "10.00%" in lines[0]
+
+    def test_longest_bar_is_max(self):
+        text = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        a_line, b_line = text.splitlines()
+        assert a_line.count("█") > b_line.count("█")
+
+    def test_negative_values_marked(self):
+        text = bar_chart({"a": -3.0, "b": 3.0}, width=10)
+        a_line = text.splitlines()[0]
+        assert "│-" in a_line
+
+    def test_title(self):
+        text = bar_chart({"a": 1.0}, title="heading")
+        assert text.splitlines()[0] == "heading"
+
+    def test_all_zero_values(self):
+        text = bar_chart({"a": 0.0, "b": 0.0})
+        assert "0.00" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ChartError):
+            bar_chart({})
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ChartError):
+            bar_chart({"a": 1.0}, width=2)
+
+    def test_accepts_sequence(self):
+        text = bar_chart([("x", 1.0), ("y", 2.0)])
+        assert text.splitlines()[0].startswith("x")
+
+
+class TestColumnChart:
+    def test_structure(self):
+        text = column_chart({1: 5.0, 2: 10.0, 4: 7.5}, height=4)
+        lines = text.splitlines()
+        assert len(lines) == 4 + 2  # rows + axis + labels
+        assert "└" in lines[-2]
+        assert "1" in lines[-1] and "4" in lines[-1]
+
+    def test_max_reaches_top(self):
+        text = column_chart({1: 1.0, 2: 2.0}, height=5)
+        top_row = text.splitlines()[0]
+        assert "█" in top_row
+
+    def test_sorted_by_x(self):
+        text = column_chart({10: 1.0, 1: 1.0, 5: 1.0}, height=3)
+        labels = text.splitlines()[-1].split()
+        assert labels == ["1", "5", "10"]
+
+    def test_title(self):
+        text = column_chart({1: 1.0}, title="sweep")
+        assert text.splitlines()[0] == "sweep"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ChartError):
+            column_chart({})
+
+    def test_rejects_flat_height(self):
+        with pytest.raises(ChartError):
+            column_chart({1: 1.0}, height=1)
+
+    def test_negative_values_supported(self):
+        text = column_chart({1: -5.0, 2: 5.0}, height=5)
+        assert "-5.0" in text or "-" in text
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_series(self):
+        spark = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert spark[0] == "▁"
+        assert spark[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ChartError):
+            sparkline([])

@@ -1,0 +1,46 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.harness.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "f3" in out
+        assert "matmul" in out
+
+    def test_single_experiment(self, capsys):
+        assert main(["t1", "--size", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "CNFET SRAM per-bit access energy" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["f99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_seed_flag(self, capsys):
+        assert main(["t2", "--seed", "1"]) == 0
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["t1", "--size", "enormous"])
+
+    def test_report_writes_markdown(self, tmp_path, capsys, monkeypatch):
+        """The report command runs a (stubbed-small) experiment set."""
+        import repro.harness.cli as cli
+
+        # Keep the test fast: shrink the registry to two experiments.
+        monkeypatch.setattr(
+            cli,
+            "EXPERIMENTS",
+            {key: cli.EXPERIMENTS[key] for key in ("t1", "t3")},
+        )
+        out = tmp_path / "report.md"
+        assert main(["report", "--output", str(out), "--size", "tiny"]) == 0
+        text = out.read_text()
+        assert "# CNT-Cache reproduction report" in text
+        assert "[t1]" in text
+        assert "[t3]" in text

@@ -1,0 +1,115 @@
+"""Content-level assertions on experiment outputs (tiny size).
+
+The structural test in test_experiments.py only checks that each
+experiment runs and renders; these tests pin the *semantics* of the data
+each one reports.
+"""
+
+import pytest
+
+from repro.harness.experiments import run_experiment
+from repro.predictor.history import history_bits
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run the data-heavy experiments once at tiny size."""
+    cache = {}
+
+    def get(experiment_id):
+        if experiment_id not in cache:
+            cache[experiment_id] = run_experiment(
+                experiment_id, size="tiny", seed=3
+            )
+        return cache[experiment_id]
+
+    return get
+
+
+class TestF4Content:
+    def test_history_bits_column(self, results):
+        for row in results("f4").rows:
+            window, bits, _saving = row
+            assert bits == history_bits(window)
+
+    def test_series_matches_rows(self, results):
+        result = results("f4")
+        for row in result.rows:
+            assert result.data["series"][row[0]] * 100 == pytest.approx(row[2])
+
+
+class TestF7Content:
+    def test_totals_column_sums_components(self, results):
+        result = results("f7")
+        for row in result.rows:
+            components = row[1:-1]
+            assert sum(components) == pytest.approx(row[-1], rel=1e-9)
+
+    def test_baseline_overheads_zero(self, results):
+        totals = results("f7").data["totals"]
+        assert totals["baseline"].metadata_read_fj == 0.0
+        assert totals["baseline"].reencode_fj == 0.0
+
+    def test_identical_demand_profile(self, results):
+        totals = results("f7").data["totals"]
+        accesses = {s: t.accesses for s, t in totals.items()}
+        assert len(set(accesses.values())) == 1
+
+
+class TestF9Content:
+    def test_quadratic_vdd_scaling(self, results):
+        series = results("f9").data["series"]
+        low = series[0.6]
+        high = series[1.2]
+        for column in range(3):
+            assert high[column] / low[column] == pytest.approx(4.0, rel=0.05)
+
+    def test_cnt_below_cnfet_below_cmos(self, results):
+        for cmos, cnfet, cnt in results("f9").data["series"].values():
+            assert cnt < cnfet < cmos
+
+
+class TestAblationContent:
+    def test_a1_monotone_dilution(self, results):
+        series = results("a1").data["series"]
+        ordered = [series[key] for key in sorted(series)]
+        assert all(a >= b for a, b in zip(ordered, ordered[1:]))
+
+    def test_a6_quant_metadata_cheaper(self, results):
+        rows = {row[0]: row for row in results("a6").rows}
+        assert rows["cnt-quant"][1] < rows["cnt"][1]  # H bits
+        assert rows["cnt-quant"][2] < rows["cnt"][2]  # H&D bits
+
+    def test_a7_wt_equals_wb_savings(self, results):
+        """Mirroring stores to memory is outside the metered array, so
+        write-through cannot change the relative saving."""
+        savings = results("a7").data["savings"]
+        assert savings["wt-wa"] == pytest.approx(savings["wb-wa"], abs=1e-9)
+
+    def test_a9_static_share_ordering(self, results):
+        data = results("a9").data
+        assert data["none (paper)"]["static_share"] == 0.0
+        assert (
+            data["CNFET"]["static_share"] < data["CMOS-class"]["static_share"]
+        )
+
+
+class TestT4Content:
+    def test_only_encoder_differs(self, results):
+        result = results("t4")
+        by_stage = {row[0]: (row[1], row[2]) for row in result.rows}
+        for stage, (plain, encoded) in by_stage.items():
+            if stage in ("encoder (inv+mux)", "total"):
+                assert encoded > plain
+            else:
+                assert encoded == plain
+
+
+class TestF8Content:
+    def test_capture_matches_columns(self, results):
+        result = results("f8")
+        for workload, row in zip(result.data["capture"], result.rows):
+            if row[2] > 0:
+                assert result.data["capture"][workload] * 100 == pytest.approx(
+                    row[3]
+                )

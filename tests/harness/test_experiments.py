@@ -1,0 +1,70 @@
+"""Every registered experiment runs end-to-end at tiny size."""
+
+import pytest
+
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    PAPER_AVERAGE_SAVING,
+    run_experiment,
+)
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        for experiment_id in ("t1", "t2", "t3", "f3", "f4", "f5", "f6",
+                              "f7", "f8", "f9", "a1", "a2", "a3", "a4"):
+            assert experiment_id in EXPERIMENTS
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("f99")
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_experiment_runs_and_renders(experiment_id):
+    result = run_experiment(experiment_id, size="tiny", seed=3)
+    assert result.id == experiment_id
+    assert result.headers
+    assert result.rows
+    text = result.render()
+    assert experiment_id in text
+    # Every row matches the header width.
+    for row in result.rows:
+        assert len(row) == len(result.headers)
+
+
+class TestT1Content:
+    def test_matches_pinned_model(self, model):
+        result = run_experiment("t1")
+        data = result.data["pinned"]
+        assert data.e_rd0 == model.e_rd0
+        assert data.write_asymmetry == pytest.approx(10.0, rel=0.05)
+
+
+class TestT3Content:
+    def test_overhead_grows_with_w_and_k(self):
+        result = run_experiment("t3")
+        # Rows are (W, K, H, D, total, overhead%) sorted by (W, K).
+        by_wk = {(row[0], row[1]): row[5] for row in result.rows}
+        assert by_wk[(64, 16)] > by_wk[(4, 1)]
+        assert by_wk[(16, 16)] > by_wk[(16, 1)]
+
+
+class TestF3Shape:
+    """The headline experiment must reproduce the paper's *shape* even at
+    tiny workload sizes (looser band than the full run)."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("f3", size="tiny", seed=3)
+
+    def test_cnt_saves_on_average(self, result):
+        assert result.data["cnt_average"] > 0.05
+
+    def test_cnt_beats_dbi(self, result):
+        per_scheme = result.data["per_scheme"]
+        cnt_avg = sum(per_scheme["cnt"].values())
+        dbi_avg = sum(per_scheme["dbi"].values())
+        assert cnt_avg > dbi_avg
+
+    def test_paper_constant_recorded(self):
+        assert PAPER_AVERAGE_SAVING == pytest.approx(0.222)

@@ -1,0 +1,51 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.harness.tables import TableError, render_markdown, render_table
+
+
+class TestRenderTable:
+    def test_basic(self):
+        text = render_table(["name", "value"], [["a", 1.5], ["b", 2.25]])
+        assert "name" in text
+        assert "1.50" in text
+        assert "2.25" in text
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_floatfmt(self):
+        text = render_table(["x"], [[1.23456]], floatfmt=".4f")
+        assert "1.2346" in text
+
+    def test_numbers_right_aligned(self):
+        text = render_table(["name", "value"], [["a", 1.0], ["bbbb", 100.0]])
+        lines = text.splitlines()
+        assert lines[-1].endswith("100.00")
+        assert lines[-2].endswith("1.00")
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(TableError):
+            render_table(["a", "b"], [[1]])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(TableError):
+            render_table([], [])
+
+
+class TestRenderMarkdown:
+    def test_structure(self):
+        text = render_markdown(["a", "b"], [[1, 2]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_floats_formatted(self):
+        assert "3.14" in render_markdown(["x"], [[3.14159]])

@@ -1,0 +1,74 @@
+"""Tests for the cnttrace toolbox CLI."""
+
+import pytest
+
+from repro.harness.tracetools import load_any, main, save_any
+from repro.trace.synth import random_trace
+
+
+@pytest.fixture()
+def text_trace(tmp_path):
+    path = tmp_path / "trace.txt"
+    save_any(path, random_trace(50, seed=4))
+    return path
+
+
+class TestLoadSaveDispatch:
+    def test_text_roundtrip(self, tmp_path):
+        trace = random_trace(20, seed=1)
+        path = tmp_path / "t.txt"
+        save_any(path, trace)
+        assert load_any(path) == trace
+
+    def test_binary_roundtrip(self, tmp_path):
+        trace = random_trace(20, seed=1)
+        path = tmp_path / "t.cnttrace"
+        save_any(path, trace)
+        assert load_any(path) == trace
+
+    def test_binary_gz_roundtrip(self, tmp_path):
+        trace = random_trace(20, seed=1)
+        path = tmp_path / "t.cnttrace.gz"
+        save_any(path, trace)
+        assert load_any(path) == trace
+
+
+class TestCommands:
+    def test_info(self, text_trace, capsys):
+        assert main(["info", str(text_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "accesses" in out
+        assert "ones_density" in out
+
+    def test_convert_text_to_binary(self, text_trace, tmp_path, capsys):
+        dest = tmp_path / "out.cnttrace"
+        assert main(["convert", str(text_trace), str(dest)]) == 0
+        assert load_any(dest) == load_any(text_trace)
+
+    def test_import_din(self, tmp_path, capsys):
+        din = tmp_path / "in.din"
+        din.write_text("0 1000\n1 1008\n2 4000\n")
+        dest = tmp_path / "out.txt"
+        assert main(
+            ["import-din", str(din), str(dest), "--values", "zero"]
+        ) == 0
+        trace = load_any(dest)
+        assert len(trace) == 3
+        assert trace[1].is_write
+
+    def test_synth(self, tmp_path, capsys):
+        dest = tmp_path / "zipf.txt"
+        assert main(["synth", "zipf", str(dest), "-n", "100"]) == 0
+        assert len(load_any(dest)) == 100
+
+    def test_replay(self, text_trace, capsys):
+        assert main(["replay", str(text_trace), "--scheme", "baseline"]) == 0
+        assert "total_fj" in capsys.readouterr().out
+
+    def test_missing_file_is_error(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "nope.txt")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,65 @@
+"""Unit tests for the per-line history counters."""
+
+import pytest
+
+from repro.predictor.history import HistoryError, LineHistory, history_bits
+
+
+class TestHistoryBits:
+    def test_paper_formula(self):
+        # 2 * log2(W) bits for the two counters.
+        assert history_bits(16) == 8
+        assert history_bits(32) == 10
+        assert history_bits(64) == 12
+
+    def test_non_power_of_two_rounds_up(self):
+        assert history_bits(15) == 8
+
+    def test_degenerate_window(self):
+        assert history_bits(1) == 2
+
+    def test_rejects_zero(self):
+        with pytest.raises(HistoryError):
+            history_bits(0)
+
+
+class TestLineHistory:
+    def test_counts_accesses(self):
+        history = LineHistory(window=4)
+        assert not history.record(False)
+        assert not history.record(True)
+        assert history.a_num == 2
+        assert history.wr_num == 1
+        assert history.rd_num == 1
+
+    def test_window_completion(self):
+        history = LineHistory(window=3)
+        assert not history.record(False)
+        assert not history.record(False)
+        assert history.record(True)  # third access completes the window
+        assert history.windows_completed == 1
+
+    def test_reset(self):
+        history = LineHistory(window=4)
+        history.record(True)
+        history.reset()
+        assert history.a_num == 0
+        assert history.wr_num == 0
+
+    def test_multiple_windows(self):
+        history = LineHistory(window=2)
+        completions = 0
+        for i in range(10):
+            if history.record(i % 2 == 0):
+                completions += 1
+                history.reset()
+        assert completions == 5
+        assert history.windows_completed == 5
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(HistoryError):
+            LineHistory(window=0)
+
+    def test_rejects_inconsistent_counters(self):
+        with pytest.raises(HistoryError):
+            LineHistory(window=4, a_num=1, wr_num=2)

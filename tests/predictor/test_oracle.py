@@ -1,0 +1,88 @@
+"""Unit and property tests for the oracle bound."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cnfet.energy import BitEnergyModel
+from repro.encoding import FullLineInvertCodec, PartitionedInvertCodec
+from repro.encoding.bits import count_ones, count_zeros
+from repro.predictor.oracle import oracle_access_energy, oracle_directions
+
+
+class TestOracleDirections:
+    def test_read_prefers_ones(self):
+        codec = FullLineInvertCodec(8)
+        mostly_zero = b"\x01" + bytes(7)
+        assert oracle_directions(codec, mostly_zero, is_write=False) == (True,)
+
+    def test_write_prefers_zeros(self):
+        codec = FullLineInvertCodec(8)
+        mostly_zero = b"\x01" + bytes(7)
+        assert oracle_directions(codec, mostly_zero, is_write=True) == (False,)
+
+
+class TestOracleEnergy:
+    def test_attains_greedy_choice(self, model):
+        codec = PartitionedInvertCodec(16, 2)
+        data = b"\x00" * 8 + b"\xff" * 8
+        # Read: both partitions can be made all-ones.
+        expected = model.read_energy(128, 0)
+        assert oracle_access_energy(codec, data, False, model) == pytest.approx(
+            expected
+        )
+
+    def test_write_attains_all_zeros(self, model):
+        codec = PartitionedInvertCodec(16, 2)
+        data = b"\x00" * 8 + b"\xff" * 8
+        expected = model.write_energy(0, 128)
+        assert oracle_access_energy(codec, data, True, model) == pytest.approx(
+            expected
+        )
+
+    @given(
+        data=st.binary(min_size=64, max_size=64),
+        k=st.sampled_from([1, 2, 4, 8, 16]),
+        is_write=st.booleans(),
+    )
+    def test_oracle_lower_bounds_both_encodings(self, data, k, is_write):
+        """Oracle <= energy of data as-is and of data fully inverted."""
+        model = BitEnergyModel.paper_table1()
+        codec = PartitionedInvertCodec(64, k)
+        bound = oracle_access_energy(codec, data, is_write, model)
+        ones, zeros = count_ones(data), count_zeros(data)
+        as_is = model.access_energy(is_write, ones, zeros)
+        inverted = model.access_energy(is_write, zeros, ones)
+        assert bound <= as_is + 1e-9
+        assert bound <= inverted + 1e-9
+
+    @given(
+        data=st.binary(min_size=64, max_size=64),
+        is_write=st.booleans(),
+    )
+    def test_finer_partitions_never_worse(self, data, is_write):
+        """Oracle energy is monotone non-increasing in partition count."""
+        model = BitEnergyModel.paper_table1()
+        previous = None
+        for k in (1, 2, 4, 8, 16, 32, 64):
+            codec = PartitionedInvertCodec(64, k)
+            bound = oracle_access_energy(codec, data, is_write, model)
+            if previous is not None:
+                assert bound <= previous + 1e-9
+            previous = bound
+
+    @given(
+        data=st.binary(min_size=64, max_size=64),
+        k=st.sampled_from([1, 2, 4, 8]),
+        is_write=st.booleans(),
+    )
+    def test_oracle_directions_attain_bound(self, data, k, is_write):
+        """Encoding with the oracle's directions achieves its energy."""
+        model = BitEnergyModel.paper_table1()
+        codec = PartitionedInvertCodec(64, k)
+        directions = oracle_directions(codec, data, is_write)
+        stored = codec.encode(data, directions)
+        achieved = model.access_energy(
+            is_write, count_ones(stored), count_zeros(stored)
+        )
+        bound = oracle_access_energy(codec, data, is_write, model)
+        assert achieved == pytest.approx(bound)

@@ -1,0 +1,83 @@
+"""Equivalence of the literal Algorithm 1 transcription and the table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cnfet.energy import BitEnergyModel
+from repro.predictor.paper_literal import (
+    LiteralLineState,
+    PaperLiteralPredictor,
+    get_num_of_bit1,
+)
+from repro.predictor.threshold import ThresholdTable
+
+
+class TestLiteralAlgorithm:
+    @pytest.fixture()
+    def predictor(self, model):
+        return PaperLiteralPredictor(length=512, window=16, model=model)
+
+    def test_counts_until_window(self, predictor):
+        state = LiteralLineState()
+        for _ in range(15):
+            pattern, switch = predictor.step(state, False, bytes(64))
+            assert pattern is None
+            assert not switch
+        pattern, switch = predictor.step(state, False, bytes(64))
+        assert pattern == 0  # read intensive
+        assert switch  # all-zero line under reads: invert
+        assert state.direction is True
+        assert state.a_num == 0 and state.wr_num == 0
+
+    def test_write_intensive_branch(self, predictor):
+        state = LiteralLineState()
+        for _ in range(15):
+            predictor.step(state, True, b"\xff" * 64)
+        pattern, switch = predictor.step(state, True, b"\xff" * 64)
+        assert pattern == 1
+        assert switch  # all-ones line under writes: invert
+
+    def test_get_num_of_bit1(self):
+        assert get_num_of_bit1(b"\x0f\xff") == 12
+
+    def test_table_has_w_plus_1_entries(self, predictor):
+        assert len(predictor.th_bit1num) == 17
+
+
+@settings(max_examples=80)
+@given(
+    wr_num=st.integers(min_value=0, max_value=16),
+    bit1num=st.integers(min_value=0, max_value=512),
+)
+def test_literal_equals_table_outside_degenerate_region(wr_num, bit1num):
+    """Both Algorithm 1 readings agree wherever Eq. 6 has a usable root."""
+    model = BitEnergyModel.paper_table1()
+    literal = PaperLiteralPredictor(512, 16, model)
+    table = ThresholdTable(512, 16, model)
+    if literal.window_is_degenerate(wr_num):
+        return
+    assert literal.would_switch(wr_num, bit1num) == table.should_switch(
+        wr_num, bit1num
+    )
+
+
+def test_degenerate_region_is_narrow(model):
+    """The near-balanced windows where the literal reading is ill-defined
+    are a thin band around Th_rd."""
+    literal = PaperLiteralPredictor(512, 16, model)
+    degenerate = [
+        wr_num for wr_num in range(17) if literal.window_is_degenerate(wr_num)
+    ]
+    assert len(degenerate) <= 3
+    for wr_num in degenerate:
+        assert abs(wr_num - literal.th_rd) <= 1.5
+
+
+def test_degenerate_windows_never_switch_in_table(model):
+    """Where the literal formula breaks down, the exact rule is NEVER."""
+    literal = PaperLiteralPredictor(512, 16, model)
+    table = ThresholdTable(512, 16, model)
+    for wr_num in range(17):
+        if literal.window_is_degenerate(wr_num):
+            for bit1num in range(0, 513, 32):
+                assert not table.should_switch(wr_num, bit1num)

@@ -1,0 +1,100 @@
+"""Unit tests for Algorithm 1 (the encoding-direction predictor)."""
+
+import pytest
+
+from repro.encoding import FullLineInvertCodec, PartitionedInvertCodec
+from repro.predictor.predictor import (
+    AccessPattern,
+    EncodingDirectionPredictor,
+)
+from repro.predictor.threshold import ThresholdError
+
+
+@pytest.fixture()
+def whole_line(model):
+    return EncodingDirectionPredictor(FullLineInvertCodec(64), 16, model)
+
+
+@pytest.fixture()
+def partitioned(model):
+    return EncodingDirectionPredictor(PartitionedInvertCodec(64, 8), 16, model)
+
+
+class TestClassification:
+    def test_read_intensive(self, whole_line):
+        assert whole_line.classify(0) is AccessPattern.READ_INTENSIVE
+        assert whole_line.classify(7) is AccessPattern.READ_INTENSIVE
+
+    def test_write_intensive(self, whole_line):
+        assert whole_line.classify(16) is AccessPattern.WRITE_INTENSIVE
+        assert whole_line.classify(9) is AccessPattern.WRITE_INTENSIVE
+
+    def test_rejects_out_of_range(self, whole_line):
+        with pytest.raises(ThresholdError):
+            whole_line.classify(17)
+
+
+class TestWholeLinePrediction:
+    def test_zero_line_read_window_flips(self, whole_line):
+        """Algorithm 1, read-intensive branch: bit1num < Th -> invert."""
+        outcome = whole_line.predict(bytes(64), (False,), wr_num=0)
+        assert outcome.pattern is AccessPattern.READ_INTENSIVE
+        assert outcome.flips == (True,)
+        assert outcome.new_directions == (True,)
+        assert outcome.any_flip
+
+    def test_ones_line_read_window_keeps(self, whole_line):
+        outcome = whole_line.predict(b"\xff" * 64, (True,), wr_num=0)
+        assert outcome.flips == (False,)
+        assert outcome.new_directions == (True,)
+
+    def test_ones_line_write_window_flips(self, whole_line):
+        """Write-intensive branch: bit1num > Th -> invert."""
+        outcome = whole_line.predict(b"\xff" * 64, (False,), wr_num=16)
+        assert outcome.pattern is AccessPattern.WRITE_INTENSIVE
+        assert outcome.flips == (True,)
+
+    def test_zero_line_write_window_keeps(self, whole_line):
+        outcome = whole_line.predict(bytes(64), (False,), wr_num=16)
+        assert outcome.flips == (False,)
+
+    def test_balanced_window_never_flips(self, whole_line):
+        for stored in (bytes(64), b"\xff" * 64, bytes(range(64))):
+            outcome = whole_line.predict(stored, (False,), wr_num=8)
+            assert not outcome.any_flip
+
+    def test_flip_toggles_direction(self, whole_line):
+        outcome = whole_line.predict(bytes(64), (True,), wr_num=0)
+        # Stored bits are what the counter sees; all-zero stored in a read
+        # window flips regardless of the current direction flag.
+        assert outcome.new_directions == (False,)
+
+
+class TestPartitionedPrediction:
+    def test_independent_partitions(self, partitioned):
+        # First half zeros (flip in a read window), second half ones (keep).
+        stored = bytes(32) + b"\xff" * 32
+        outcome = partitioned.predict(
+            stored, (False,) * 8, wr_num=0
+        )
+        assert outcome.flips == (True,) * 4 + (False,) * 4
+
+    def test_direction_word_width(self, partitioned):
+        outcome = partitioned.predict(bytes(64), (False,) * 8, wr_num=0)
+        assert len(outcome.new_directions) == 8
+
+    def test_no_flip_on_optimal_encoding(self, partitioned):
+        outcome = partitioned.predict(b"\xff" * 64, (True,) * 8, wr_num=0)
+        assert not outcome.any_flip
+
+
+class TestConstruction:
+    def test_rejects_bad_window(self, model):
+        with pytest.raises(ThresholdError):
+            EncodingDirectionPredictor(FullLineInvertCodec(64), 0, model)
+
+    def test_th_rd_exposed(self, whole_line):
+        assert 7.5 < whole_line.th_rd < 8.5
+
+    def test_table_partition_width(self, partitioned):
+        assert partitioned.table.length == 64  # bits per partition

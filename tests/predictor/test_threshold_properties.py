@@ -1,0 +1,89 @@
+"""Property tests: the table, Eq. 6 and the exact decision always agree."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cnfet.energy import BitEnergyModel
+from repro.predictor.threshold import (
+    ThresholdTable,
+    current_encoding_energy,
+    opposite_encoding_energy,
+    should_switch_exact,
+)
+
+#: Random-but-valid energy models (keeps the orderings the type requires).
+models = st.builds(
+    lambda rd1, d_rd, wr0, d_wr: BitEnergyModel(
+        e_rd0=rd1 + d_rd, e_rd1=rd1, e_wr0=wr0, e_wr1=wr0 + d_wr
+    ),
+    rd1=st.floats(min_value=0.1, max_value=2.0),
+    d_rd=st.floats(min_value=0.5, max_value=10.0),
+    wr0=st.floats(min_value=0.1, max_value=2.0),
+    d_wr=st.floats(min_value=0.5, max_value=10.0),
+)
+
+
+@settings(max_examples=60)
+@given(
+    model=models,
+    window=st.integers(min_value=2, max_value=32),
+    wr_frac=st.floats(min_value=0.0, max_value=1.0),
+    n1_frac=st.floats(min_value=0.0, max_value=1.0),
+    length=st.sampled_from([8, 64, 512]),
+)
+def test_table_agrees_with_exact_decision(model, window, wr_frac, n1_frac, length):
+    """The hardware lookup table reproduces the direct energy comparison."""
+    wr_num = round(wr_frac * window)
+    n1 = round(n1_frac * length)
+    table = ThresholdTable(length, window, model)
+    assert table.should_switch(wr_num, n1) == should_switch_exact(
+        length, window, wr_num, n1, model
+    )
+
+
+@settings(max_examples=60)
+@given(
+    model=models,
+    window=st.integers(min_value=2, max_value=32),
+    wr_frac=st.floats(min_value=0.0, max_value=1.0),
+    n1_frac=st.floats(min_value=0.0, max_value=1.0),
+    delta_t=st.floats(min_value=0.0, max_value=0.9),
+)
+def test_hysteresis_only_removes_switches(model, window, wr_frac, n1_frac, delta_t):
+    """A positive dT margin never *adds* a switch."""
+    wr_num = round(wr_frac * window)
+    n1 = round(n1_frac * 512)
+    if should_switch_exact(512, window, wr_num, n1, model, delta_t=delta_t):
+        assert should_switch_exact(512, window, wr_num, n1, model, delta_t=0.0)
+
+
+@settings(max_examples=60)
+@given(
+    model=models,
+    window=st.integers(min_value=2, max_value=32),
+    wr_num_frac=st.floats(min_value=0.0, max_value=1.0),
+    n1=st.integers(min_value=0, max_value=512),
+)
+def test_eq4_eq5_reflection(model, window, wr_num_frac, n1):
+    """E and E-bar swap under N1 -> L - N1 (the inversion symmetry)."""
+    wr_num = round(wr_num_frac * window)
+    lhs = current_encoding_energy(512, window, wr_num, n1, model)
+    rhs = opposite_encoding_energy(512, window, wr_num, 512 - n1, model)
+    assert abs(lhs - rhs) < 1e-6 * max(abs(lhs), 1.0)
+
+
+@settings(max_examples=40)
+@given(model=models, window=st.integers(min_value=2, max_value=32))
+def test_switching_decision_is_threshold_shaped(model, window):
+    """For fixed Wr_num the switch set is a half-line in bit1num.
+
+    This is what justifies implementing the predictor as a threshold table
+    at all: scanning n1 from 0..L, the decision changes at most once.
+    """
+    length = 128
+    table = ThresholdTable(length, window, model)
+    for wr_num in range(window + 1):
+        decisions = [table.should_switch(wr_num, n1) for n1 in range(length + 1)]
+        changes = sum(
+            decisions[i] != decisions[i + 1] for i in range(length)
+        )
+        assert changes <= 1

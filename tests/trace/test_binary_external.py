@@ -1,0 +1,160 @@
+"""Tests for the binary trace format and the external (din) importer."""
+
+import gzip
+
+import pytest
+
+from repro.trace.binary import (
+    read_binary_trace,
+    write_binary_trace,
+)
+from repro.trace.external import (
+    ValueModel,
+    din_reader,
+    import_din,
+    parse_din_line,
+)
+from repro.trace.record import Access, TraceError
+from repro.trace.synth import random_trace
+
+
+class TestBinaryFormat:
+    def test_roundtrip(self, tmp_path):
+        trace = random_trace(200, seed=5)
+        path = tmp_path / "trace.cnttrace"
+        assert write_binary_trace(path, trace) == 200
+        assert read_binary_trace(path) == trace
+
+    def test_gzip_roundtrip(self, tmp_path):
+        trace = random_trace(100, seed=6)
+        path = tmp_path / "trace.cnttrace.gz"
+        write_binary_trace(path, trace)
+        assert read_binary_trace(path) == trace
+
+    def test_smaller_than_text(self, tmp_path):
+        from repro.trace.io import write_trace
+
+        trace = random_trace(500, size=8, seed=7)
+        text_path = tmp_path / "trace.txt"
+        binary_path = tmp_path / "trace.bin"
+        write_trace(text_path, trace)
+        write_binary_trace(binary_path, trace)
+        assert binary_path.stat().st_size < text_path.stat().st_size / 1.3
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        assert write_binary_trace(path, []) == 0
+        assert read_binary_trace(path) == []
+
+    def test_rejects_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOTTRACE" + bytes(8))
+        with pytest.raises(TraceError, match="magic"):
+            read_binary_trace(path)
+
+    def test_rejects_truncated(self, tmp_path):
+        trace = random_trace(10, seed=1)
+        path = tmp_path / "trace.bin"
+        write_binary_trace(path, trace)
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        with pytest.raises(TraceError, match="truncated"):
+            read_binary_trace(path)
+
+    def test_rejects_trailing_garbage(self, tmp_path):
+        trace = random_trace(5, seed=1)
+        path = tmp_path / "trace.bin"
+        write_binary_trace(path, trace)
+        path.write_bytes(path.read_bytes() + b"\x00")
+        with pytest.raises(TraceError, match="trailing"):
+            read_binary_trace(path)
+
+    def test_rejects_oversized_access(self, tmp_path):
+        with pytest.raises(TraceError, match="255"):
+            write_binary_trace(
+                tmp_path / "big.bin", [Access.read(0, bytes(300))]
+            )
+
+
+class TestDinParsing:
+    def test_read_line(self):
+        assert parse_din_line("0 1a2b") == (False, 0x1A2B)
+
+    def test_write_line(self):
+        assert parse_din_line("1 ff00") == (True, 0xFF00)
+
+    def test_ifetch_maps_to_read(self):
+        assert parse_din_line("2 400") == (False, 0x400)
+
+    def test_comment_and_blank(self):
+        assert parse_din_line("# comment") is None
+        assert parse_din_line("") is None
+
+    def test_malformed(self):
+        for bad in ("0", "9 100", "0 zz", "x 100"):
+            with pytest.raises(TraceError):
+                parse_din_line(bad)
+
+    def test_din_reader_error_reports_line(self):
+        with pytest.raises(TraceError, match="line 2"):
+            list(din_reader(["0 100", "garbage line here"]))
+
+
+class TestValueModel:
+    def test_zero_model(self):
+        model = ValueModel("zero")
+        assert model.value_for(0x100, 8, False) == bytes(8)
+
+    def test_uniform_deterministic(self):
+        a = ValueModel("uniform", seed=3)
+        b = ValueModel("uniform", seed=3)
+        assert a.value_for(0, 8, False) == b.value_for(0, 8, False)
+
+    def test_sparse_mostly_zero(self):
+        model = ValueModel("sparse", seed=1)
+        values = [model.value_for(i, 8, False) for i in range(300)]
+        zero_count = sum(1 for value in values if value == bytes(8))
+        assert zero_count > 150
+
+    def test_sticky_reads_stable(self):
+        model = ValueModel("sticky", seed=2)
+        first = model.value_for(0x40, 8, False)
+        second = model.value_for(0x40, 8, False)
+        assert first == second
+
+    def test_sticky_write_rerandomises(self):
+        model = ValueModel("sticky", seed=2)
+        values = set()
+        for _ in range(50):
+            values.add(model.value_for(0x40, 8, True))
+        assert len(values) > 1  # writes draw fresh values
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(TraceError):
+            ValueModel("psychic")
+
+
+class TestImportDin:
+    def test_end_to_end(self, tmp_path):
+        path = tmp_path / "trace.din"
+        path.write_text("0 1000\n1 1004\n2 4000\n# done\n")
+        trace = import_din(path, access_size=4, value_model=ValueModel("zero"))
+        assert len(trace) == 3
+        assert [a.is_write for a in trace] == [False, True, False]
+        assert trace[0].addr == 0x1000
+        assert all(a.size == 4 for a in trace)
+
+    def test_imported_trace_replays(self, tmp_path):
+        """An imported din trace drives the full energy pipeline."""
+        from repro.core.cntcache import CNTCache
+        from repro.core.config import CNTCacheConfig
+
+        lines = [f"0 {0x1000 + 8 * i:x}" for i in range(64)]
+        lines += [f"1 {0x1000 + 8 * i:x}" for i in range(16)]
+        path = tmp_path / "trace.din"
+        path.write_text("\n".join(lines))
+        trace = import_din(path, access_size=8)
+        sim = CNTCache(CNTCacheConfig())
+        sim.run(trace)
+        assert sim.stats.accesses == 80
+        assert sim.stats.total_fj > 0

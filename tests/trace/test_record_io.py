@@ -1,0 +1,99 @@
+"""Unit tests for trace records and serialisation."""
+
+import pytest
+
+from repro.trace.io import (
+    dumps_trace,
+    loads_trace,
+    read_trace,
+    trace_reader,
+    write_trace,
+)
+from repro.trace.record import Access, Op, TraceError
+
+
+class TestAccess:
+    def test_constructors(self):
+        read = Access.read(0x100, b"\x01\x02")
+        write = Access.write(0x200, b"\x03")
+        assert not read.is_write
+        assert write.is_write
+        assert read.size == 2
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(TraceError):
+            Access.read(-1, b"\x00")
+
+    def test_rejects_empty_data(self):
+        with pytest.raises(TraceError):
+            Access.read(0, b"")
+
+    def test_op_parse(self):
+        assert Op.parse("r") is Op.READ
+        assert Op.parse("W") is Op.WRITE
+        with pytest.raises(TraceError):
+            Op.parse("X")
+
+
+class TestTextFormat:
+    def test_line_roundtrip(self):
+        access = Access.write(0xDEAD, b"\xBE\xEF")
+        assert Access.from_line(access.to_line()) == access
+
+    def test_parse_known_line(self):
+        access = Access.from_line("R 0x40 0011")
+        assert access.op is Op.READ
+        assert access.addr == 0x40
+        assert access.data == b"\x00\x11"
+
+    def test_parse_decimal_address(self):
+        assert Access.from_line("W 64 ff").addr == 64
+
+    def test_malformed_lines(self):
+        for bad in ("R 0x40", "X 0x40 00", "R zz 00", "R 0x40 0g"):
+            with pytest.raises(TraceError):
+                Access.from_line(bad)
+
+
+class TestFileIO:
+    def test_roundtrip(self, tmp_path):
+        trace = [
+            Access.read(0x100, b"\x01" * 8),
+            Access.write(0x108, b"\x02" * 4),
+        ]
+        path = tmp_path / "trace.txt"
+        assert write_trace(path, trace) == 2
+        assert read_trace(path) == trace
+
+    def test_gzip_roundtrip(self, tmp_path):
+        trace = [Access.write(0x40 * i, bytes([i])) for i in range(50)]
+        path = tmp_path / "trace.txt.gz"
+        write_trace(path, trace)
+        assert read_trace(path) == trace
+
+    def test_reader_is_lazy(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_trace(path, [Access.read(0, b"\x00")])
+        reader = trace_reader(path)
+        assert next(reader) == Access.read(0, b"\x00")
+
+    def test_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\nR 0x0 00\n")
+        assert len(read_trace(path)) == 1
+
+    def test_error_includes_location(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("R 0x0 00\nBAD LINE HERE\n")
+        with pytest.raises(TraceError, match=":2"):
+            read_trace(path)
+
+
+class TestStringIO:
+    def test_dumps_loads(self):
+        trace = [Access.read(0, b"\x01"), Access.write(8, b"\x02")]
+        assert loads_trace(dumps_trace(trace)) == trace
+
+    def test_loads_reports_line(self):
+        with pytest.raises(TraceError, match="line 2"):
+            loads_trace("R 0x0 00\ngarbage\n")

@@ -1,0 +1,116 @@
+"""Unit tests for trace statistics and synthetic generators."""
+
+import pytest
+
+from repro.trace.record import Access, TraceError
+from repro.trace.stats import analyze_trace
+from repro.trace.synth import (
+    pointer_chase_trace,
+    random_trace,
+    sparse_value_trace,
+    stream_trace,
+    zipf_trace,
+)
+
+
+class TestStats:
+    def test_empty_trace(self):
+        stats = analyze_trace([])
+        assert stats.accesses == 0
+        assert stats.write_ratio == 0.0
+        assert stats.ones_density == 0.0
+
+    def test_counts(self):
+        trace = [
+            Access.read(0, b"\xff"),
+            Access.write(64, b"\x00\x00"),
+        ]
+        stats = analyze_trace(trace)
+        assert stats.accesses == 2
+        assert stats.reads == 1
+        assert stats.writes == 1
+        assert stats.bytes_read == 1
+        assert stats.bytes_written == 2
+        assert stats.write_ratio == pytest.approx(0.5)
+
+    def test_ones_density(self):
+        trace = [Access.read(0, b"\xff\x00")]
+        assert analyze_trace(trace).ones_density == pytest.approx(0.5)
+
+    def test_footprint_counts_lines(self):
+        trace = [Access.read(0, b"\x00"), Access.read(64, b"\x00")]
+        stats = analyze_trace(trace, line_size=64)
+        assert stats.distinct_lines == 2
+        assert stats.footprint_bytes == 128
+
+    def test_crossing_access_touches_two_lines(self):
+        trace = [Access.read(60, b"\x00" * 8)]
+        assert analyze_trace(trace, line_size=64).distinct_lines == 2
+
+    def test_as_dict_keys(self):
+        keys = analyze_trace([]).as_dict()
+        for key in ("accesses", "write_ratio", "ones_density", "footprint_bytes"):
+            assert key in keys
+
+
+class TestGenerators:
+    def test_deterministic(self):
+        assert random_trace(100, seed=5) == random_trace(100, seed=5)
+        assert zipf_trace(100, seed=5) == zipf_trace(100, seed=5)
+
+    def test_different_seeds_differ(self):
+        assert random_trace(100, seed=1) != random_trace(100, seed=2)
+
+    def test_lengths(self):
+        for generator in (random_trace, stream_trace, zipf_trace,
+                          sparse_value_trace):
+            assert len(generator(37)) == 37
+        assert len(pointer_chase_trace(37)) == 37
+
+    def test_write_ratio_respected(self):
+        trace = random_trace(4000, write_ratio=0.25, seed=3)
+        stats = analyze_trace(trace)
+        assert stats.write_ratio == pytest.approx(0.25, abs=0.03)
+
+    def test_ones_density_respected(self):
+        trace = random_trace(500, ones_density=0.2, seed=3)
+        assert analyze_trace(trace).ones_density == pytest.approx(0.2, abs=0.03)
+
+    def test_stream_is_sequential(self):
+        trace = stream_trace(10, size=8, seed=0)
+        addresses = [access.addr for access in trace]
+        assert addresses == sorted(addresses)
+        assert addresses[1] - addresses[0] == 8
+
+    def test_zipf_is_skewed(self):
+        trace = zipf_trace(2000, footprint=1 << 14, skew=1.2, seed=0)
+        counts: dict[int, int] = {}
+        for access in trace:
+            counts[access.addr] = counts.get(access.addr, 0) + 1
+        top = max(counts.values())
+        assert top > 2000 / len(counts) * 5  # clearly hotter than uniform
+
+    def test_pointer_chase_follows_pointers(self):
+        trace = pointer_chase_trace(50, nodes=16, seed=1)
+        for step, access in enumerate(trace[:-1]):
+            next_addr = int.from_bytes(access.data, "little")
+            assert trace[step + 1].addr == next_addr
+
+    def test_sparse_values_mostly_zero(self):
+        trace = sparse_value_trace(500, zero_fraction=0.9, seed=2)
+        zero_count = sum(
+            1 for access in trace if access.data == bytes(access.size)
+        )
+        assert zero_count > 400
+
+    def test_argument_validation(self):
+        with pytest.raises(TraceError):
+            random_trace(-1)
+        with pytest.raises(TraceError):
+            random_trace(10, write_ratio=1.5)
+        with pytest.raises(TraceError):
+            zipf_trace(10, skew=0)
+        with pytest.raises(TraceError):
+            pointer_chase_trace(10, nodes=1)
+        with pytest.raises(TraceError):
+            sparse_value_trace(10, zero_fraction=2.0)

@@ -1,0 +1,48 @@
+"""Property-based tests for trace serialisation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.binary import read_binary_trace, write_binary_trace
+from repro.trace.io import dumps_trace, loads_trace, read_trace, write_trace
+from repro.trace.record import Access, Op
+
+accesses = st.builds(
+    Access,
+    op=st.sampled_from(list(Op)),
+    addr=st.integers(min_value=0, max_value=2**48),
+    data=st.binary(min_size=1, max_size=64),
+)
+traces = st.lists(accesses, max_size=60)
+
+
+@given(trace=traces)
+def test_text_string_roundtrip(trace):
+    assert loads_trace(dumps_trace(trace)) == trace
+
+
+@settings(max_examples=30)
+@given(trace=traces)
+def test_text_file_roundtrip(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "t.txt"
+    write_trace(path, trace)
+    assert read_trace(path) == trace
+
+
+@settings(max_examples=30)
+@given(trace=traces)
+def test_binary_file_roundtrip(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "t.cnttrace"
+    write_binary_trace(path, trace)
+    assert read_binary_trace(path) == trace
+
+
+@given(access=accesses)
+def test_line_roundtrip(access):
+    assert Access.from_line(access.to_line()) == access
+
+
+@given(access=accesses)
+def test_line_format_is_single_line(access):
+    line = access.to_line()
+    assert "\n" not in line
+    assert len(line.split()) == 3

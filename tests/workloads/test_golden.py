@@ -1,0 +1,53 @@
+"""Golden regression values for every workload at tiny size, seed 3.
+
+These pin both the functional output (checksum) and the trace shape
+(record count) so that any change to a kernel, the traced memory, or the
+RNG discipline is caught immediately.  If a change is *intentional*,
+regenerate with::
+
+    python -c "
+    from repro.workloads import WORKLOADS
+    for name in sorted(WORKLOADS):
+        run = WORKLOADS[name].build('tiny', seed=3)
+        print(f'    \"{name}\": ({run.checksum:#x}, {len(run.trace)}),')"
+"""
+
+import pytest
+
+from repro.workloads import get_workload
+
+GOLDEN: dict[str, tuple[int, int]] = {
+    "bitcount": (0x1434, 2206),
+    "crc32": (0xE913C756, 1201),
+    "dijkstra": (0x47A8D71A, 528),
+    "fft": (0x7B919A00, 2144),
+    "histogram": (0xF7974634, 1500),
+    "lz77": (0x7F0F650E, 2762),
+    "matmul": (0xE60048D7, 1088),
+    "pointer_chase": (0x183A794, 1700),
+    "qsort": (0x7B76C2F, 2099),
+    "records": (0xB3F755B, 308),
+    "sha256": (0x7E6C1831, 1697),
+    "spmv": (0xD692722, 1280),
+    "stencil": (0x3048B0F6, 1000),
+    "stream": (0xEF4E41AD, 2000),
+    "stringsearch": (0x1D, 2024),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_checksum_and_trace_length(name, tiny_runs):
+    run = tiny_runs[name]
+    checksum, trace_length = GOLDEN[name]
+    assert run.checksum == checksum, (
+        f"{name} checksum changed: {run.checksum:#x} != {checksum:#x}"
+    )
+    assert len(run.trace) == trace_length, (
+        f"{name} trace length changed: {len(run.trace)} != {trace_length}"
+    )
+
+
+def test_golden_covers_all_workloads():
+    from repro.workloads import WORKLOADS
+
+    assert set(GOLDEN) == set(WORKLOADS)

@@ -1,0 +1,127 @@
+"""Unit tests for the instrumented workload memory."""
+
+import pytest
+
+from repro.trace.record import Op
+from repro.workloads.mem import MemView, TracedMemory, TracedMemoryError
+
+
+class TestAlloc:
+    def test_sequential_alignment(self):
+        mem = TracedMemory(base=0x1000)
+        first = mem.alloc(10, align=64)
+        second = mem.alloc(10, align=64)
+        assert first == 0x1000
+        assert second == 0x1040
+        assert mem.allocated == 0x4A  # through the end of the second region
+
+    def test_rejects_bad_align(self):
+        with pytest.raises(TracedMemoryError):
+            TracedMemory().alloc(8, align=3)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(TracedMemoryError):
+            TracedMemory().alloc(0)
+
+
+class TestScalarAccess:
+    def test_store_load_roundtrip(self):
+        mem = TracedMemory()
+        addr = mem.alloc(8)
+        mem.store_u32(addr, 0xDEADBEEF)
+        assert mem.load_u32(addr) == 0xDEADBEEF
+
+    def test_signed_roundtrip(self):
+        mem = TracedMemory()
+        addr = mem.alloc(4)
+        mem.store_i32(addr, -12345)
+        assert mem.load_i32(addr) == -12345
+
+    def test_trace_records_values(self):
+        mem = TracedMemory()
+        addr = mem.alloc(4)
+        mem.store_u32(addr, 0x01020304)
+        mem.load_u32(addr)
+        assert len(mem.trace) == 2
+        write, read = mem.trace
+        assert write.op is Op.WRITE
+        assert write.data == b"\x04\x03\x02\x01"  # little-endian
+        assert read.op is Op.READ
+        assert read.data == write.data
+
+    def test_unsigned_rejects_negative(self):
+        mem = TracedMemory()
+        addr = mem.alloc(4)
+        with pytest.raises(TracedMemoryError):
+            mem.store_u32(addr, -1)
+
+    def test_bounds_checked(self):
+        mem = TracedMemory()
+        mem.alloc(4)
+        with pytest.raises(TracedMemoryError):
+            mem.load_u64(mem.base)  # only 4 bytes allocated
+
+    def test_record_can_be_disabled(self):
+        mem = TracedMemory(record=False)
+        addr = mem.alloc(4)
+        mem.store_u32(addr, 1)
+        assert mem.trace == []
+
+
+class TestPreload:
+    def test_untraced(self):
+        mem = TracedMemory()
+        addr = mem.alloc(8)
+        mem.preload(addr, b"\xAA" * 8)
+        assert mem.trace == []
+        assert mem.peek(addr, 8) == b"\xAA" * 8
+
+    def test_recorded_in_preload_list(self):
+        mem = TracedMemory()
+        addr = mem.alloc(8)
+        mem.preload(addr, b"\x01" * 8)
+        assert mem.preloads == [(addr, b"\x01" * 8)]
+
+    def test_loads_see_preloaded_values(self):
+        mem = TracedMemory()
+        addr = mem.alloc(4)
+        mem.preload(addr, (12345).to_bytes(4, "little"))
+        assert mem.load_u32(addr) == 12345
+
+
+class TestMemView:
+    def test_indexing(self):
+        mem = TracedMemory()
+        view = MemView(mem, mem.alloc(16), 4, width=4)
+        view[0] = 10
+        view[3] = 40
+        assert view[0] == 10
+        assert view[3] == 40
+        assert len(view) == 4
+
+    def test_index_out_of_range(self):
+        mem = TracedMemory()
+        view = MemView(mem, mem.alloc(16), 4, width=4)
+        with pytest.raises(IndexError):
+            view[4]
+        with pytest.raises(IndexError):
+            view[-1]
+
+    def test_fill_untraced_and_snapshot(self):
+        mem = TracedMemory()
+        view = MemView(mem, mem.alloc(16), 4, width=4)
+        view.fill_untraced([1, 2, 3, 4])
+        assert mem.trace == []
+        assert view.snapshot() == [1, 2, 3, 4]
+
+    def test_signed_view(self):
+        mem = TracedMemory()
+        view = MemView(mem, mem.alloc(8), 2, width=4, signed=True)
+        view[0] = -7
+        assert view[0] == -7
+
+    def test_byte_view(self):
+        mem = TracedMemory()
+        view = MemView(mem, mem.alloc(4), 4, width=1)
+        view[2] = 255
+        assert view[2] == 255
