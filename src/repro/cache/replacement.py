@@ -172,6 +172,11 @@ _POLICIES: dict[str, type[ReplacementPolicy]] = {
 }
 
 
+def replacement_policy_names() -> list[str]:
+    """Registered policy names, sorted (config validation uses this)."""
+    return sorted(_POLICIES)
+
+
 def make_replacement_policy(
     name: str, n_sets: int, n_ways: int, seed: int = 0
 ) -> ReplacementPolicy:

@@ -10,7 +10,7 @@ physically toggle, including the H&D metadata columns.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
 from repro.cache.cache import ArrayEvent, EventKind, SetAssociativeCache
@@ -111,7 +111,7 @@ class CNTCache:
         )
         #: Optional analysis hook: called with a WindowEvent whenever a
         #: line's prediction window completes (see repro.analysis).
-        self.window_observer = None
+        self.window_observer: Callable[[WindowEvent], None] | None = None
         self._window_events = 0
         # Leakage accounting (extension A9): live stored-one population of
         # the whole data array, updated incrementally; invalid lines count
@@ -230,11 +230,11 @@ class CNTCache:
             self._process_event(event)
 
         # Value-independent peripheral energy of the demand activation.
-        self.stats.peripheral_fj += self.config.peripheral_fj_per_access
+        self.stats.add("peripheral_fj", self.config.peripheral_fj_per_access)
 
         # Per-access encoder datapath energy (absent in the plain baseline).
         if self.config.scheme != "baseline":
-            self.stats.logic_fj += self.config.encoder_logic_fj
+            self.stats.add("logic_fj", self.config.encoder_logic_fj)
 
         # Window bookkeeping for adaptive schemes.  Bypassed writes
         # (no-write-allocate misses, way < 0) never touched the array.
@@ -253,8 +253,11 @@ class CNTCache:
 
         # Static energy of this cycle (extension A9).
         if self.config.leakage is not None:
-            self.stats.leakage_fj += self.config.leakage.cycle_energy(
-                self._stored_ones, self._total_bits - self._stored_ones
+            self.stats.add(
+                "leakage_fj",
+                self.config.leakage.cycle_energy(
+                    self._stored_ones, self._total_bits - self._stored_ones
+                ),
             )
 
         return result.data
@@ -288,12 +291,12 @@ class CNTCache:
         line.sidecar = LineState(directions=directions, history=history)
         stored = self.codec.encode(event.payload, directions)
         ones = bits.popcount(stored)
-        self.stats.fill_fj += self.model.write_energy(
-            ones, len(stored) * 8 - ones
+        self.stats.add(
+            "fill_fj", self.model.write_energy(ones, len(stored) * 8 - ones)
         )
         if self._track_content:
             self._stored_ones += ones
-        self.stats.peripheral_fj += self.config.peripheral_fj_per_access
+        self.stats.add("peripheral_fj", self.config.peripheral_fj_per_access)
         self._charge_metadata_write(line.sidecar, full=True)
 
     def _on_writeback(self, event: ArrayEvent) -> None:
@@ -305,10 +308,11 @@ class CNTCache:
         )
         stored = self.codec.encode(event.payload, directions)
         ones = bits.popcount(stored)
-        self.stats.writeback_fj += self.model.read_energy(
-            ones, len(stored) * 8 - ones
+        self.stats.add(
+            "writeback_fj",
+            self.model.read_energy(ones, len(stored) * 8 - ones),
         )
-        self.stats.peripheral_fj += self.config.peripheral_fj_per_access
+        self.stats.add("peripheral_fj", self.config.peripheral_fj_per_access)
         if isinstance(state, LineState):
             self._charge_metadata_read(
                 state, self._history_for(event.set_index, state)
@@ -327,8 +331,9 @@ class CNTCache:
                 bytes(line.data), state.directions, event.offset, event.size
             )
         ones = bits.popcount(stored)
-        self.stats.data_read_fj += self.model.read_energy(
-            ones, len(stored) * 8 - ones
+        self.stats.add(
+            "data_read_fj",
+            self.model.read_energy(ones, len(stored) * 8 - ones),
         )
         self._charge_metadata_read(
             state, self._history_for(event.set_index, state)
@@ -367,8 +372,9 @@ class CNTCache:
                 logical_after, state.directions, event.offset, event.size
             )
         ones = bits.popcount(stored)
-        self.stats.data_write_fj += self.model.write_energy(
-            ones, len(stored) * 8 - ones
+        self.stats.add(
+            "data_write_fj",
+            self.model.write_energy(ones, len(stored) * 8 - ones),
         )
         self._charge_metadata_read(
             state, self._history_for(event.set_index, state)
@@ -402,7 +408,7 @@ class CNTCache:
         if not window_done:
             return
         self.stats.windows_completed += 1
-        self.stats.logic_fj += self.config.predictor_logic_fj
+        self.stats.add("logic_fj", self.config.predictor_logic_fj)
         stored = self.codec.encode(bytes(line.data), state.directions)
         outcome = self.policy.window_outcome(
             stored, state.directions, history.wr_num
@@ -483,8 +489,8 @@ class CNTCache:
                 # The partition inverted: new ones replace old ones.
                 self._stored_ones += 2 * ones - width * 8
         state.directions = update.new_directions
-        self.stats.reencode_fj += energy
-        self.stats.peripheral_fj += self.config.peripheral_fj_per_access
+        self.stats.add("reencode_fj", energy)
+        self.stats.add("peripheral_fj", self.config.peripheral_fj_per_access)
         self._charge_metadata_write(state, full=False)
         return True
 
@@ -517,7 +523,9 @@ class CNTCache:
         ones, total = self._metadata_words(state, history)
         if total == 0:
             return
-        self.stats.metadata_read_fj += self.model.read_energy(ones, total - ones)
+        self.stats.add(
+            "metadata_read_fj", self.model.read_energy(ones, total - ones)
+        )
 
     def _charge_metadata_write(self, state: LineState, full: bool) -> None:
         """Charge writing the D bits (and H bits when ``full``)."""
@@ -541,8 +549,8 @@ class CNTCache:
             total += 2 * counter_bits
         if total == 0:
             return
-        self.stats.metadata_write_fj += self.model.write_energy(
-            ones, total - ones
+        self.stats.add(
+            "metadata_write_fj", self.model.write_energy(ones, total - ones)
         )
 
     def _charge_history_write(self, history: LineHistory) -> None:
@@ -554,8 +562,9 @@ class CNTCache:
         mask = (1 << counter_bits) - 1
         value = (history.a_num & mask) | ((history.wr_num & mask) << counter_bits)
         ones = value.bit_count()
-        self.stats.metadata_write_fj += self.model.write_energy(
-            ones, 2 * counter_bits - ones
+        self.stats.add(
+            "metadata_write_fj",
+            self.model.write_energy(ones, 2 * counter_bits - ones),
         )
 
     @staticmethod

@@ -3,8 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Any
 
-from repro.cnfet.energy import BitEnergyModel
+from repro.cache.replacement import replacement_policy_names
+from repro.cnfet.energy import (
+    ENCODER_LOGIC_FJ,
+    PERIPHERAL_FJ_PER_ACCESS,
+    PREDICTOR_LOGIC_FJ,
+    BitEnergyModel,
+)
 from repro.cnfet.leakage import LeakageModel
 from repro.predictor.history import history_bits
 
@@ -83,19 +90,16 @@ class CNTCacheConfig:
     access_granularity: str = "line"
     account_metadata: bool = True
     #: Constant energy of the mux/inverter datapath per access, fJ.
-    encoder_logic_fj: float = 0.20
+    #: Calibration constants live with the device physics in
+    #: :mod:`repro.cnfet.energy` (lint rule R002).
+    encoder_logic_fj: float = ENCODER_LOGIC_FJ
     #: Constant energy of one predictor table lookup + compare, fJ.
-    predictor_logic_fj: float = 1.00
-    #: Value-independent energy of one array activation, fJ: address
-    #: decoder + wordline drivers, tag compare, column mux, sense enable.
-    #: The paper's Eq. 4/5 meter data bits only (no peripheral term); we
-    #: keep a modest CNFET-peripheral constant because a zero value is
-    #: physically indefensible.  This is the repository's single pinned
-    #: calibration constant: 1.0 pJ places the 15-workload suite average
-    #: at 20.8% vs the paper's 22.2% (see EXPERIMENTS.md, calibration
-    #: section — set once, never tuned per-experiment; a sensitivity
-    #: ablation bench sweeps it).
-    peripheral_fj_per_access: float = 1000.0
+    predictor_logic_fj: float = PREDICTOR_LOGIC_FJ
+    #: Value-independent energy of one array activation, fJ — the
+    #: repository's single pinned calibration constant (see
+    #: :data:`repro.cnfet.energy.PERIPHERAL_FJ_PER_ACCESS` for the full
+    #: rationale and the sensitivity ablation pointer).
+    peripheral_fj_per_access: float = PERIPHERAL_FJ_PER_ACCESS
     #: Direction word assigned to a line at fill time (adaptive schemes):
     #: ``neutral`` (all uninverted), ``read-greedy`` (per-partition majority
     #: toward stored '1's — cheap reads; the default, since demand reads
@@ -164,6 +168,30 @@ class CNTCacheConfig:
                 f"dbi_word_bytes {self.dbi_word_bytes} must divide "
                 f"line_size {self.line_size}"
             )
+        if self.replacement not in replacement_policy_names():
+            raise ConfigError(
+                f"unknown replacement policy {self.replacement!r}; "
+                f"known: {replacement_policy_names()}"
+            )
+        if not isinstance(self.energy, BitEnergyModel):
+            raise ConfigError(
+                "energy must be a BitEnergyModel, got "
+                f"{type(self.energy).__name__}"
+            )
+        if not isinstance(self.account_metadata, bool):
+            raise ConfigError(
+                "account_metadata must be a bool, got "
+                f"{type(self.account_metadata).__name__}"
+            )
+        if self.leakage is not None and not isinstance(
+            self.leakage, LeakageModel
+        ):
+            raise ConfigError(
+                "leakage must be a LeakageModel or None, got "
+                f"{type(self.leakage).__name__}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ConfigError(f"seed must be an int, got {self.seed!r}")
 
     # ------------------------------------------------------------------ #
     # derived quantities
@@ -243,7 +271,7 @@ class CNTCacheConfig:
         """H&D bits as a fraction of the data bits."""
         return self.metadata_bits_per_line / self.line_bits
 
-    def variant(self, **changes) -> "CNTCacheConfig":
+    def variant(self, **changes: Any) -> "CNTCacheConfig":
         """A modified copy (sweep helper)."""
         return replace(self, **changes)
 

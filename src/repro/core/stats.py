@@ -9,6 +9,8 @@ writes and the encoder/predictor logic.
 
 from __future__ import annotations
 
+import math
+from collections.abc import Iterable
 from dataclasses import dataclass, field, fields
 
 
@@ -64,28 +66,66 @@ class EnergyStats:
     extra: dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
+    # accumulation (the only sanctioned way in — lint rule R001)
+    # ------------------------------------------------------------------ #
+    def add(self, component: str, fj: float) -> None:
+        """Accumulate ``fj`` femtojoules into a named energy component.
+
+        All simulator code must meter energy through here (enforced by
+        lint rule R001): the component name is validated against
+        :data:`ENERGY_COMPONENTS` and the increment must be finite and
+        non-negative, so a typo'd component or a NaN can never silently
+        corrupt the paper's headline metric.
+        """
+        if component not in ENERGY_COMPONENTS:
+            raise StatsError(
+                f"unknown energy component {component!r}; "
+                f"known: {ENERGY_COMPONENTS}"
+            )
+        if not math.isfinite(fj) or fj < 0:
+            raise StatsError(
+                f"energy increment for {component!r} must be finite and "
+                f"non-negative, got {fj!r}"
+            )
+        setattr(self, component, getattr(self, component) + fj)
+
+    def add_extra(self, key: str, value: float) -> None:
+        """Accumulate into a free-form ``extra`` metric."""
+        if not math.isfinite(value):
+            raise StatsError(f"extra {key!r} increment must be finite")
+        self.extra[key] = self.extra.get(key, 0.0) + value
+
+    # ------------------------------------------------------------------ #
     # derived
     # ------------------------------------------------------------------ #
     @property
     def total_fj(self) -> float:
-        """Total dynamic energy, fJ (the paper's reported metric)."""
-        return sum(getattr(self, name) for name in ENERGY_COMPONENTS)
+        """Total dynamic energy, fJ (the paper's reported metric).
+
+        Compensated (``math.fsum``) so the total is exact regardless of
+        component magnitudes.
+        """
+        return math.fsum(getattr(self, name) for name in ENERGY_COMPONENTS)
 
     @property
     def data_fj(self) -> float:
         """Data-array-only energy (no metadata/logic), fJ."""
-        return (
-            self.data_read_fj
-            + self.data_write_fj
-            + self.fill_fj
-            + self.writeback_fj
-            + self.reencode_fj
+        return math.fsum(
+            (
+                self.data_read_fj,
+                self.data_write_fj,
+                self.fill_fj,
+                self.writeback_fj,
+                self.reencode_fj,
+            )
         )
 
     @property
     def overhead_fj(self) -> float:
         """Scheme overhead energy (metadata traffic + logic), fJ."""
-        return self.metadata_read_fj + self.metadata_write_fj + self.logic_fj
+        return math.fsum(
+            (self.metadata_read_fj, self.metadata_write_fj, self.logic_fj)
+        )
 
     @property
     def hit_rate(self) -> float:
@@ -110,19 +150,38 @@ class EnergyStats:
     # ------------------------------------------------------------------ #
     # combination / export
     # ------------------------------------------------------------------ #
-    def __add__(self, other: "EnergyStats") -> "EnergyStats":
-        merged = EnergyStats()
-        for spec in fields(EnergyStats):
+    @classmethod
+    def merge(cls, parts: Iterable["EnergyStats"]) -> "EnergyStats":
+        """Combine many runs into one (multi-level/suite aggregation).
+
+        Event counters are summed exactly (ints); every energy component
+        (and every ``extra`` metric) is combined with ``math.fsum``, so
+        the merged totals are deterministic and independent of the order
+        in which the parts are supplied — shard results can be merged in
+        completion order without perturbing the reported femtojoules.
+        """
+        materialized = list(parts)
+        merged = cls()
+        energy_names = set(ENERGY_COMPONENTS)
+        for spec in fields(cls):
             if spec.name == "extra":
                 continue
-            setattr(
-                merged,
-                spec.name,
-                getattr(self, spec.name) + getattr(other, spec.name),
+            if spec.name in energy_names:
+                value: float | int = math.fsum(
+                    getattr(part, spec.name) for part in materialized
+                )
+            else:
+                value = sum(getattr(part, spec.name) for part in materialized)
+            setattr(merged, spec.name, value)
+        keys = sorted({key for part in materialized for key in part.extra})
+        for key in keys:
+            merged.extra[key] = math.fsum(
+                part.extra.get(key, 0.0) for part in materialized
             )
-        for key in set(self.extra) | set(other.extra):
-            merged.extra[key] = self.extra.get(key, 0.0) + other.extra.get(key, 0.0)
         return merged
+
+    def __add__(self, other: "EnergyStats") -> "EnergyStats":
+        return EnergyStats.merge((self, other))
 
     def as_dict(self) -> dict[str, float | int]:
         """Flat-dict view (counters + energies + derived)."""

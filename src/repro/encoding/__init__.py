@@ -16,18 +16,28 @@ XOR-mask transform controlled by a *direction word* (one bit per partition).
 
 from repro.encoding.base import CodecError, DirectionWord, LineCodec
 from repro.encoding.bits import (
+    apply_directions,
     count_ones,
     count_zeros,
+    encoded_slice,
     invert_bytes,
     join_partitions,
     ones_per_partition,
     popcount,
     split_partitions,
+    xor_mask_for_directions,
 )
 from repro.encoding.dbi import WordDBICodec
 from repro.encoding.identity import IdentityCodec
 from repro.encoding.invert import FullLineInvertCodec
 from repro.encoding.partitioned import PartitionedInvertCodec
+from repro.encoding.registry import (
+    CODECS,
+    codec_names,
+    get_codec,
+    make_codec,
+    register_codec,
+)
 
 __all__ = [
     "LineCodec",
@@ -37,10 +47,18 @@ __all__ = [
     "FullLineInvertCodec",
     "PartitionedInvertCodec",
     "WordDBICodec",
+    "CODECS",
+    "codec_names",
+    "get_codec",
+    "make_codec",
+    "register_codec",
     "popcount",
     "count_ones",
     "count_zeros",
     "invert_bytes",
+    "apply_directions",
+    "encoded_slice",
+    "xor_mask_for_directions",
     "split_partitions",
     "join_partitions",
     "ones_per_partition",

@@ -1,0 +1,68 @@
+"""Codec registry: every concrete :class:`LineCodec` by name.
+
+Lint rule R003 statically enforces that each concrete codec class in this
+package is listed here *and* exported from ``__init__.__all__`` — an
+unregistered codec silently drops out of name-driven sweeps, which is how
+encoding variants go missing from comparison experiments.
+"""
+
+from __future__ import annotations
+
+from repro.encoding.base import CodecError, LineCodec
+from repro.encoding.dbi import WordDBICodec
+from repro.encoding.identity import IdentityCodec
+from repro.encoding.invert import FullLineInvertCodec
+from repro.encoding.partitioned import PartitionedInvertCodec
+
+#: Name -> codec class.  Keys follow the scheme vocabulary of
+#: :data:`repro.core.config.SCHEMES` where one exists.
+CODECS: dict[str, type[LineCodec]] = {
+    "identity": IdentityCodec,
+    "invert": FullLineInvertCodec,
+    "partitioned": PartitionedInvertCodec,
+    "dbi": WordDBICodec,
+}
+
+
+def register_codec(name: str, cls: type[LineCodec]) -> None:
+    """Register a codec class under ``name`` (extension hook)."""
+    if not name:
+        raise CodecError("codec name must be non-empty")
+    if not (isinstance(cls, type) and issubclass(cls, LineCodec)):
+        raise CodecError(f"{cls!r} is not a LineCodec subclass")
+    existing = CODECS.get(name)
+    if existing is not None and existing is not cls:
+        raise CodecError(
+            f"codec name {name!r} already registered to {existing.__name__}"
+        )
+    CODECS[name] = cls
+
+
+def codec_names() -> list[str]:
+    """Registered codec names, sorted."""
+    return sorted(CODECS)
+
+
+def get_codec(name: str) -> type[LineCodec]:
+    """Look up a codec class by registered name."""
+    try:
+        return CODECS[name]
+    except KeyError:
+        raise CodecError(
+            f"unknown codec {name!r}; known: {codec_names()}"
+        ) from None
+
+
+def make_codec(name: str, line_size: int, **kwargs: int) -> LineCodec:
+    """Instantiate a registered codec (``partitions``/``word_bytes`` etc.
+    pass through as keyword arguments)."""
+    return get_codec(name)(line_size, **kwargs)
+
+
+__all__ = [
+    "CODECS",
+    "codec_names",
+    "get_codec",
+    "make_codec",
+    "register_codec",
+]

@@ -10,6 +10,11 @@ Entry points:
   (``t1``, ``f3``, ...); also runnable via ``python -m repro.harness.cli``.
 """
 
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    run_experiment,
+)
 from repro.harness.oracle import oracle_bound
 from repro.harness.runner import (
     RunResult,
@@ -31,4 +36,7 @@ __all__ = [
     "sweep_configs",
     "render_table",
     "render_markdown",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
 ]

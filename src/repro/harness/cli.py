@@ -6,6 +6,7 @@ Examples::
     cntcache t1                   # render Table I
     cntcache f3 --size default    # the main result at full problem size
     cntcache all --size small     # every experiment
+    cntcache lint src tests       # domain lint + physics-invariant checks
 """
 
 from __future__ import annotations
@@ -55,7 +56,10 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (t1, f3, ...), 'all', 'report', or 'list'",
+        help=(
+            "experiment id (t1, f3, ...), 'all', 'report', 'list', or "
+            "'lint' (see 'cntcache lint --help')"
+        ),
     )
     parser.add_argument(
         "--output",
@@ -76,6 +80,12 @@ def _parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI main; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["lint"]:
+        # The lint subcommand owns its own argument set.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = _parser().parse_args(argv)
 
     if args.experiment == "list":

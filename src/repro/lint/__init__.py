@@ -1,0 +1,60 @@
+"""Domain-specific static analysis for the CNT-Cache reproduction.
+
+Three layers (see docs/STATIC_ANALYSIS.md):
+
+* an AST rule engine (:mod:`repro.lint.engine`) running the project
+  rules R001-R005 of :mod:`repro.lint.rules` — energy-accounting
+  discipline, calibration-constant placement, codec registry coverage,
+  config-validation coverage and general hygiene;
+* a physics-invariant checker (:mod:`repro.lint.invariants`) that
+  statically evaluates every shipped :class:`~repro.cnfet.energy.
+  BitEnergyModel` over all process corners and the Vdd sweep range
+  (checks P001-P006);
+* CLI wiring: ``cntcache lint`` and ``python -m repro.lint``.
+"""
+
+from repro.lint.engine import (
+    LintConfig,
+    LintContext,
+    LintError,
+    ParsedModule,
+    iter_python_files,
+    lint_paths,
+    parse_module,
+)
+from repro.lint.findings import Finding, Severity
+from repro.lint.invariants import (
+    CMOS_PROFILE,
+    CNFET_PROFILE,
+    DEFAULT_VDD_GRID,
+    InvariantProfile,
+    InvariantViolation,
+    check_energy_table,
+    check_model,
+    check_shipped_models,
+    check_vdd_sweep,
+)
+from repro.lint.rules import RULES, iter_rules
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "LintConfig",
+    "LintContext",
+    "LintError",
+    "ParsedModule",
+    "iter_python_files",
+    "lint_paths",
+    "parse_module",
+    "RULES",
+    "iter_rules",
+    "InvariantProfile",
+    "InvariantViolation",
+    "CNFET_PROFILE",
+    "CMOS_PROFILE",
+    "DEFAULT_VDD_GRID",
+    "check_energy_table",
+    "check_model",
+    "check_shipped_models",
+    "check_vdd_sweep",
+]

@@ -1,0 +1,126 @@
+"""The ``cntcache lint`` / ``python -m repro.lint`` command.
+
+Exit codes: 0 = clean, 1 = findings or physics violations, 2 = usage
+error.  Output is one ``file:line: R00X severity message`` line per
+finding (or JSON with ``--format json``), followed by the physics
+invariant report unless ``--no-invariants`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.engine import LintConfig, LintError, lint_paths
+from repro.lint.findings import Severity
+from repro.lint.rules import iter_rules
+
+
+def _default_paths() -> list[str]:
+    """``src tests`` when run from a checkout root, else the cwd."""
+    defaults = [name for name in ("src", "tests") if Path(name).is_dir()]
+    return defaults if defaults else ["."]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cntcache lint",
+        description=(
+            "CNT-Cache domain lint: energy-accounting rules R001-R005 "
+            "plus the P001-P006 physics-invariant checks"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="R001,R002",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--no-invariants",
+        action="store_true",
+        help="skip the physics-invariant checks over the shipped models",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI main; returns a process exit code."""
+    args = _parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.rule_id} [{rule.severity.value}] {rule.summary}")
+        return 0
+
+    enabled = (
+        frozenset(token.strip() for token in args.rules.split(",") if token.strip())
+        if args.rules
+        else None
+    )
+    paths = args.paths if args.paths else _default_paths()
+    try:
+        config = LintConfig(enabled_rules=enabled)
+        findings = lint_paths(paths, config)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    violations = []
+    if not args.no_invariants:
+        from repro.lint.invariants import check_shipped_models
+
+        violations = check_shipped_models()
+
+    if args.format == "json":
+        payload = {
+            "findings": [finding.as_dict() for finding in findings],
+            "physics": [
+                {
+                    "code": violation.code,
+                    "context": violation.context,
+                    "message": violation.message,
+                }
+                for violation in violations
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+        for violation in violations:
+            print(violation.format())
+        errors = sum(
+            1 for finding in findings if finding.severity is Severity.ERROR
+        )
+        print(
+            f"lint: {len(findings)} finding(s) ({errors} error(s)), "
+            f"{len(violations)} physics violation(s)"
+        )
+
+    failed = violations or any(
+        finding.severity is Severity.ERROR for finding in findings
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

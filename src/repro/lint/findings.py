@@ -1,0 +1,49 @@
+"""Finding and severity types shared by every lint layer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; only errors fail the gate."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: ``file:line rule-id message`` plus severity."""
+
+    path: str
+    line: int
+    rule_id: str
+    severity: Severity
+    message: str
+
+    @property
+    def sort_key(self) -> tuple[str, int, str]:
+        """Stable report ordering: path, then line, then rule id."""
+        return (self.path, self.line, self.rule_id)
+
+    def format(self) -> str:
+        """The canonical ``file:line: R00X severity message`` line."""
+        return (
+            f"{self.path}:{self.line}: {self.rule_id} "
+            f"{self.severity.value} {self.message}"
+        )
+
+    def as_dict(self) -> dict[str, str | int]:
+        """JSON-friendly view (the ``--format json`` output record)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+        }

@@ -1,0 +1,304 @@
+"""Physics-invariant checker for the CNFET bit-energy model.
+
+The paper's adaptive-encoding algorithm is only meaningful while the
+Table I energy table obeys four inequalities (PAPER.md, Section III):
+
+* **P001** every per-bit energy is positive and finite;
+* **P002** reading '1' is cheaper than reading '0' (``E_rd1 < E_rd0``);
+* **P003** writing '0' is cheaper than writing '1' (``E_wr0 < E_wr1``);
+* **P004** the write asymmetry ``E_wr1/E_wr0`` sits inside the profile's
+  band (the abstract's "almost 10X" for CNFET cells);
+* **P005** the read and write deltas stay close
+  (``E_rd0 - E_rd1 ~= E_wr1 - E_wr0``), which is what puts the
+  read-intensive threshold ``Th_rd`` of Eq. 3 at roughly ``W/2``;
+* **P006** every per-bit energy is strictly monotone in Vdd across the
+  sweep grid (dynamic energy scales like CV^2).
+
+A table so corrupted that the :class:`BitEnergyModel` constructor itself
+rejects it is reported as **P000** (model construction failed) instead
+of crashing the gate.
+
+:func:`check_shipped_models` statically evaluates every energy table this
+repository ships — the pinned Table I calibration over all process
+corners and the Vdd sweep range, the cell-derived table, every preset in
+:mod:`repro.core.presets` and the CMOS reference of
+:mod:`repro.cnfet.corners` — and returns the violations (empty = green).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.cnfet.corners import (
+    NOMINAL_VDD,
+    Corner,
+    cmos_reference_model,
+    scale_to_corner,
+    scale_to_vdd,
+)
+from repro.cnfet.energy import BitEnergyModel, EnergyModelError
+from repro.cnfet.sram import Sram6TCell
+
+#: Vdd sweep grid the shipped-model check evaluates, volts (matches the
+#: F9 Vdd-sweep experiment's range around the 0.9 V nominal).
+DEFAULT_VDD_GRID: tuple[float, ...] = tuple(
+    round(0.60 + 0.05 * step, 2) for step in range(13)
+)
+
+
+@dataclass(frozen=True)
+class InvariantProfile:
+    """Acceptance bands for one cell technology."""
+
+    name: str
+    #: Inclusive ``E_wr1/E_wr0`` band.
+    asymmetry_band: tuple[float, float]
+    #: Max allowed ``|delta_read/delta_write - 1|``.
+    delta_balance_tol: float
+
+
+#: CNFET single-ended cell: "almost 10X" write asymmetry, matched deltas.
+CNFET_PROFILE = InvariantProfile(
+    name="cnfet", asymmetry_band=(5.0, 20.0), delta_balance_tol=0.25
+)
+
+#: Differential CMOS reference: near-symmetric by construction.
+CMOS_PROFILE = InvariantProfile(
+    name="cmos", asymmetry_band=(1.0, 2.0), delta_balance_tol=0.25
+)
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One violated physics invariant."""
+
+    code: str
+    context: str
+    message: str
+
+    def format(self) -> str:
+        """The canonical ``P00X [context] message`` report line."""
+        where = f" [{self.context}]" if self.context else ""
+        return f"{self.code}{where} {self.message}"
+
+
+def check_energy_table(
+    e_rd0: float,
+    e_rd1: float,
+    e_wr0: float,
+    e_wr1: float,
+    profile: InvariantProfile = CNFET_PROFILE,
+    context: str = "",
+) -> list[InvariantViolation]:
+    """Check one raw energy table against P001-P005.
+
+    Takes the four energies as plain floats (not a
+    :class:`BitEnergyModel`) so deliberately corrupted tables can be
+    examined without tripping the dataclass's own constructor guards.
+    """
+    violations: list[InvariantViolation] = []
+    table = {"E_rd0": e_rd0, "E_rd1": e_rd1, "E_wr0": e_wr0, "E_wr1": e_wr1}
+    for name, value in table.items():
+        if not (isinstance(value, (int, float)) and math.isfinite(value)):
+            violations.append(
+                InvariantViolation(
+                    "P001", context, f"{name} is not a finite number: {value!r}"
+                )
+            )
+        elif value <= 0:
+            violations.append(
+                InvariantViolation(
+                    "P001", context, f"{name} must be positive, got {value}"
+                )
+            )
+    if violations:
+        return violations
+
+    if not e_rd1 < e_rd0:
+        violations.append(
+            InvariantViolation(
+                "P002",
+                context,
+                f"expected E_rd1 < E_rd0 (reading '1' leaves the bitline "
+                f"high), got {e_rd1} >= {e_rd0}",
+            )
+        )
+    if not e_wr0 < e_wr1:
+        violations.append(
+            InvariantViolation(
+                "P003",
+                context,
+                f"expected E_wr0 < E_wr1 (write-1 fights the pull-down), "
+                f"got {e_wr0} >= {e_wr1}",
+            )
+        )
+    if violations:
+        return violations
+
+    low, high = profile.asymmetry_band
+    asymmetry = e_wr1 / e_wr0
+    if not low <= asymmetry <= high:
+        violations.append(
+            InvariantViolation(
+                "P004",
+                context,
+                f"write asymmetry E_wr1/E_wr0 = {asymmetry:.2f} outside the "
+                f"{profile.name} band [{low}, {high}]",
+            )
+        )
+    delta_read = e_rd0 - e_rd1
+    delta_write = e_wr1 - e_wr0
+    balance = delta_read / delta_write
+    if abs(balance - 1.0) > profile.delta_balance_tol:
+        violations.append(
+            InvariantViolation(
+                "P005",
+                context,
+                f"delta balance (E_rd0-E_rd1)/(E_wr1-E_wr0) = {balance:.3f} "
+                f"drifts more than {profile.delta_balance_tol:.0%} from 1 — "
+                "Th_rd is no longer ~W/2 (Eq. 3)",
+            )
+        )
+    return violations
+
+
+def check_model(
+    model: BitEnergyModel,
+    profile: InvariantProfile = CNFET_PROFILE,
+    context: str = "",
+) -> list[InvariantViolation]:
+    """Check a constructed :class:`BitEnergyModel` against P001-P005."""
+    return check_energy_table(
+        model.e_rd0,
+        model.e_rd1,
+        model.e_wr0,
+        model.e_wr1,
+        profile=profile,
+        context=context,
+    )
+
+
+def check_vdd_sweep(
+    model_at: Callable[[float], BitEnergyModel],
+    vdds: Sequence[float] = DEFAULT_VDD_GRID,
+    profile: InvariantProfile = CNFET_PROFILE,
+    context: str = "",
+) -> list[InvariantViolation]:
+    """Check P001-P005 at every grid point and P006 across the sweep."""
+    violations: list[InvariantViolation] = []
+    grid = sorted(vdds)
+    models = []
+    for vdd in grid:
+        model = model_at(vdd)
+        models.append(model)
+        violations.extend(
+            check_model(model, profile=profile, context=f"{context} vdd={vdd}")
+        )
+    for component in ("e_rd0", "e_rd1", "e_wr0", "e_wr1"):
+        values = [getattr(model, component) for model in models]
+        for (vdd_a, a), (vdd_b, b) in zip(
+            zip(grid, values), zip(grid[1:], values[1:])
+        ):
+            if not b > a:
+                violations.append(
+                    InvariantViolation(
+                        "P006",
+                        context,
+                        f"{component} not strictly increasing in Vdd: "
+                        f"{a} at {vdd_a} V vs {b} at {vdd_b} V",
+                    )
+                )
+    return violations
+
+
+def _guarded(
+    supplier: Callable[[], list[InvariantViolation]],
+    context: str,
+    violations: list[InvariantViolation],
+) -> None:
+    """Run one shipped-model check, demoting constructor rejections.
+
+    ``BitEnergyModel`` / preset constructors are the first line of
+    defense and raise :class:`EnergyModelError` on a corrupted table
+    before the invariant predicates ever see it.  The static gate must
+    still report that as a finding (``P000``) rather than crash.
+    """
+    try:
+        violations.extend(supplier())
+    except EnergyModelError as exc:
+        violations.append(
+            InvariantViolation(
+                code="P000",
+                context=context,
+                message=f"model construction failed: {exc}",
+            )
+        )
+
+
+def check_shipped_models(
+    vdds: Sequence[float] = DEFAULT_VDD_GRID,
+) -> list[InvariantViolation]:
+    """Evaluate every energy table the repository ships."""
+    from repro.core.presets import preset, preset_names
+
+    violations: list[InvariantViolation] = []
+
+    def pinned_corners() -> list[InvariantViolation]:
+        found: list[InvariantViolation] = []
+        pinned = BitEnergyModel.paper_table1()
+        for corner in Corner:
+            at_corner = scale_to_corner(pinned, corner)
+            found.extend(
+                check_vdd_sweep(
+                    lambda vdd: scale_to_vdd(at_corner, vdd),
+                    vdds=vdds,
+                    context=f"paper_table1 corner={corner.name}",
+                )
+            )
+        return found
+
+    _guarded(pinned_corners, "paper_table1", violations)
+    _guarded(
+        lambda: check_model(
+            BitEnergyModel.from_cell(Sram6TCell()), context="Sram6TCell()"
+        ),
+        "Sram6TCell()",
+        violations,
+    )
+
+    def all_presets() -> list[InvariantViolation]:
+        found: list[InvariantViolation] = []
+        for name in preset_names():
+            found.extend(
+                check_model(preset(name).energy, context=f"preset={name}")
+            )
+        return found
+
+    _guarded(all_presets, "presets", violations)
+    _guarded(
+        lambda: check_vdd_sweep(
+            cmos_reference_model,
+            vdds=vdds,
+            profile=CMOS_PROFILE,
+            context="cmos_reference",
+        ),
+        "cmos_reference",
+        violations,
+    )
+    return violations
+
+
+__all__ = [
+    "CMOS_PROFILE",
+    "CNFET_PROFILE",
+    "DEFAULT_VDD_GRID",
+    "NOMINAL_VDD",
+    "InvariantProfile",
+    "InvariantViolation",
+    "check_energy_table",
+    "check_model",
+    "check_shipped_models",
+    "check_vdd_sweep",
+]

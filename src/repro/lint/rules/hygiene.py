@@ -1,0 +1,72 @@
+"""General Python hygiene — rule R005.
+
+Two classic footguns, both of which have corrupted published cache-energy
+numbers before: a mutable default argument shared across simulator runs,
+and a bare ``except:`` that swallows the very invariant errors the model
+types raise.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import LintRule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.lint.engine import LintContext, ParsedModule
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    )
+
+
+class HygieneRule(LintRule):
+    """R005: no mutable default arguments, no bare ``except``."""
+
+    rule_id = "R005"
+    summary = "no mutable default arguments / no bare except clauses"
+
+    def check_module(
+        self, module: "ParsedModule", context: "LintContext"
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defaults = list(node.args.defaults) + [
+                    default
+                    for default in node.args.kw_defaults
+                    if default is not None
+                ]
+                for default in defaults:
+                    if _is_mutable_default(default):
+                        yield self.finding(
+                            module.display_path,
+                            default.lineno,
+                            f"mutable default argument in '{node.name}'; "
+                            "use None and create the object in the body",
+                        )
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module.display_path,
+                    node.lineno,
+                    "bare 'except:' swallows model-invariant errors; catch "
+                    "a specific exception type",
+                )

@@ -1,0 +1,95 @@
+"""EnergyStats.add() validation and order-independent merging."""
+
+import math
+
+import pytest
+
+from repro.core.stats import ENERGY_COMPONENTS, EnergyStats, StatsError
+
+
+def _stats(**energies) -> EnergyStats:
+    stats = EnergyStats()
+    for component, fj in energies.items():
+        stats.add(component, fj)
+    return stats
+
+
+class TestAdd:
+    def test_accumulates_into_named_component(self):
+        stats = EnergyStats()
+        stats.add("data_read_fj", 1.5)
+        stats.add("data_read_fj", 2.5)
+        assert stats.data_read_fj == 4.0
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(StatsError, match="unknown energy component"):
+            EnergyStats().add("data_raed_fj", 1.0)
+
+    def test_negative_and_non_finite_rejected(self):
+        stats = EnergyStats()
+        with pytest.raises(StatsError, match="finite and non-negative"):
+            stats.add("fill_fj", -1.0)
+        with pytest.raises(StatsError, match="finite and non-negative"):
+            stats.add("fill_fj", float("nan"))
+        with pytest.raises(StatsError, match="finite and non-negative"):
+            stats.add("fill_fj", float("inf"))
+
+    def test_add_extra_accumulates(self):
+        stats = EnergyStats()
+        stats.add_extra("l2_fj", 2.0)
+        stats.add_extra("l2_fj", 3.0)
+        assert stats.extra["l2_fj"] == 5.0
+
+
+class TestMergeDeterminism:
+    # Magnitudes chosen so naive left-to-right float addition is
+    # order-sensitive (1.0 is below the ULP of 1e16).
+    PARTS = [
+        _stats(data_read_fj=1e16, logic_fj=3.25),
+        _stats(data_read_fj=1.0, logic_fj=1e-9),
+        _stats(data_read_fj=1.0, logic_fj=1e16),
+        _stats(data_read_fj=-0.0, logic_fj=7.5),
+    ]
+
+    def test_merge_is_order_independent(self):
+        forward = EnergyStats.merge(self.PARTS)
+        backward = EnergyStats.merge(reversed(self.PARTS))
+        rotated = EnergyStats.merge(self.PARTS[2:] + self.PARTS[:2])
+        for component in ENERGY_COMPONENTS:
+            assert getattr(forward, component) == getattr(backward, component)
+            assert getattr(forward, component) == getattr(rotated, component)
+        assert forward.total_fj == backward.total_fj == rotated.total_fj
+
+    def test_merge_matches_fsum(self):
+        merged = EnergyStats.merge(self.PARTS)
+        assert merged.data_read_fj == math.fsum(
+            part.data_read_fj for part in self.PARTS
+        )
+        assert merged.logic_fj == math.fsum(
+            part.logic_fj for part in self.PARTS
+        )
+
+    def test_total_uses_compensated_summation(self):
+        stats = _stats(data_read_fj=1e16)
+        for _ in range(4):
+            stats.add("logic_fj", 0.5)
+        # Naive sum would drop the 2.0 entirely (below 1e16's ULP until
+        # the components are combined first).
+        assert stats.total_fj == math.fsum((1e16, 2.0))
+
+    def test_merge_sums_counters_and_extras(self):
+        first = EnergyStats(accesses=3, hits=2)
+        first.add_extra("l2_fj", 1.0)
+        second = EnergyStats(accesses=4, misses=1)
+        second.add_extra("l2_fj", 2.0)
+        second.add_extra("dram_fj", 5.0)
+        merged = EnergyStats.merge([first, second])
+        assert merged.accesses == 7
+        assert merged.hits == 2
+        assert merged.misses == 1
+        assert merged.extra == {"l2_fj": 3.0, "dram_fj": 5.0}
+
+    def test_dunder_add_delegates_to_merge(self):
+        first = _stats(data_read_fj=1e16)
+        second = _stats(data_read_fj=1.0)
+        assert (first + second).data_read_fj == math.fsum((1e16, 1.0))

@@ -1,0 +1,4 @@
+# lint: skip-file
+"""R003 fixture package: ``SneakyCodec`` is deliberately unexported."""
+
+__all__ = ["GoodCodec"]

@@ -1,0 +1,12 @@
+# lint: skip-file
+"""R003 fixture codecs: one compliant, one sneaky."""
+
+from repro.encoding.base import LineCodec
+
+
+class GoodCodec(LineCodec):
+    """Exported and registered: no finding."""
+
+
+class SneakyCodec(LineCodec):
+    """Neither exported nor registered: two findings on line 11."""

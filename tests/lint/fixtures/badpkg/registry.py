@@ -1,0 +1,6 @@
+# lint: skip-file
+"""R003 fixture registry: registers only ``GoodCodec``."""
+
+from tests.lint.fixtures.badpkg.codecs import GoodCodec
+
+CODECS = {"good": GoodCodec}

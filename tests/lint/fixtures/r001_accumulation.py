@@ -1,0 +1,14 @@
+# lint: skip-file
+"""R001 fixture: ad-hoc energy accumulation outside EnergyStats."""
+
+
+class FakeSim:
+    """Pretend simulator accumulating energy by hand."""
+
+    def __init__(self):
+        self.total = 0.0
+
+    def charge(self, stats, fj):
+        """Line 13 below is the seeded R001 violation."""
+        stats.data_read_fj += fj
+        self.total += fj

@@ -1,0 +1,10 @@
+# lint: skip-file
+"""R002 fixture: raw energy literals bound to ``*_fj`` names."""
+
+DECODE_ENERGY_FJ = 0.30
+
+
+def build(stats_cls):
+    """Seeded violations: annotated assignment and keyword argument."""
+    peripheral_fj: float = 1200.0
+    return stats_cls(logic_fj=2.5), peripheral_fj

@@ -1,0 +1,24 @@
+# lint: skip-file
+"""R004 fixture: Config dataclasses with validation gaps."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class WidgetConfig:
+    """Half-validated config: ``height`` is never checked."""
+
+    width: int = 1
+    height: int = 2
+
+    def __post_init__(self):
+        """Validates width only."""
+        if self.width < 1:
+            raise ValueError("width must be positive")
+
+
+@dataclass(frozen=True)
+class NakedConfig:
+    """Config with fields but no __post_init__ at all."""
+
+    depth: int = 3

@@ -1,0 +1,10 @@
+# lint: skip-file
+"""R005 fixture: mutable default argument and bare except."""
+
+
+def collect(items=[]):
+    """Seeded violations on lines 5 and 9."""
+    try:
+        return items
+    except:
+        return None

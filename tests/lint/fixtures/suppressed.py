@@ -1,0 +1,12 @@
+# lint: skip-file
+"""Suppression fixture: identical violations, first one disabled."""
+
+
+def quiet(items=[]):  # lint: disable=R005
+    """Suppressed seeded violation."""
+    return items
+
+
+def loud(items=[]):
+    """Unsuppressed seeded violation."""
+    return items

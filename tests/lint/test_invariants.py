@@ -1,0 +1,132 @@
+"""Physics-invariant checker: accepts everything we ship, rejects
+corrupted energy tables (Hypothesis property tests)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cnfet.corners import Corner, scale_to_corner, scale_to_vdd
+from repro.cnfet.energy import BitEnergyModel, EnergyModelError
+from repro.cnfet.sram import Sram6TCell
+from repro.core.presets import preset, preset_names
+from repro.lint.invariants import (
+    CMOS_PROFILE,
+    DEFAULT_VDD_GRID,
+    check_energy_table,
+    check_model,
+    check_shipped_models,
+    check_vdd_sweep,
+)
+
+PINNED = BitEnergyModel.paper_table1()
+
+
+def codes(violations):
+    return {violation.code for violation in violations}
+
+
+class TestShippedModelsAccepted:
+    def test_everything_we_ship_is_green(self):
+        assert check_shipped_models() == []
+
+    def test_every_preset_accepted(self):
+        for name in preset_names():
+            assert check_model(preset(name).energy, context=name) == []
+
+    def test_every_corner_accepted_across_vdd_sweep(self):
+        for corner in Corner:
+            at_corner = scale_to_corner(PINNED, corner)
+            assert (
+                check_vdd_sweep(lambda vdd: scale_to_vdd(at_corner, vdd))
+                == []
+            )
+
+    def test_cell_derived_table_accepted(self):
+        assert check_model(BitEnergyModel.from_cell(Sram6TCell())) == []
+
+    @settings(max_examples=60)
+    @given(
+        scale=st.floats(min_value=1e-3, max_value=1e3),
+        vdd=st.floats(min_value=0.3, max_value=1.4),
+    )
+    def test_uniform_scaling_preserves_all_invariants(self, scale, vdd):
+        # Corner/Vdd scaling multiplies all four energies alike, so the
+        # inequalities, the asymmetry and the delta balance all survive.
+        model = scale_to_vdd(PINNED.scaled(scale), vdd)
+        assert check_model(model) == []
+
+
+class TestCorruptedTablesRejected:
+    def test_swapped_write_energies_rejected(self):
+        # The canonical corruption: E_wr0 > E_wr1 flips Algorithm 1's
+        # entire preference order.
+        violations = check_energy_table(
+            PINNED.e_rd0, PINNED.e_rd1, PINNED.e_wr1, PINNED.e_wr0
+        )
+        assert "P003" in codes(violations)
+
+    def test_swapped_read_energies_rejected(self):
+        violations = check_energy_table(
+            PINNED.e_rd1, PINNED.e_rd0, PINNED.e_wr0, PINNED.e_wr1
+        )
+        assert "P002" in codes(violations)
+
+    @settings(max_examples=60)
+    @given(factor=st.floats(min_value=1.0, max_value=10.0))
+    def test_wr0_at_least_wr1_always_rejected(self, factor):
+        violations = check_energy_table(
+            PINNED.e_rd0, PINNED.e_rd1, PINNED.e_wr1 * factor, PINNED.e_wr1
+        )
+        assert "P003" in codes(violations)
+
+    @settings(max_examples=60)
+    @given(
+        value=st.one_of(
+            st.floats(max_value=0.0),
+            st.just(float("nan")),
+            st.just(float("inf")),
+        )
+    )
+    def test_non_positive_or_nan_energy_rejected(self, value):
+        violations = check_energy_table(
+            PINNED.e_rd0, PINNED.e_rd1, value, PINNED.e_wr1
+        )
+        assert codes(violations) == {"P001"}
+
+    @settings(max_examples=60)
+    @given(ratio=st.floats(min_value=1.05, max_value=4.0))
+    def test_weak_write_asymmetry_outside_cnfet_band_rejected(self, ratio):
+        # ~10X is the paper's whole premise; a 1-4X cell is not a CNT cell.
+        violations = check_energy_table(
+            PINNED.e_rd0, PINNED.e_rd1, PINNED.e_wr0, PINNED.e_wr0 * ratio
+        )
+        assert "P004" in codes(violations)
+
+    def test_drifted_delta_balance_rejected(self):
+        # Write deltas intact but the read delta halved: Th_rd leaves W/2.
+        half_read = PINNED.e_rd1 + (PINNED.e_rd0 - PINNED.e_rd1) / 2
+        violations = check_energy_table(
+            half_read, PINNED.e_rd1, PINNED.e_wr0, PINNED.e_wr1
+        )
+        assert "P005" in codes(violations)
+
+    def test_non_monotone_vdd_curve_rejected(self):
+        violations = check_vdd_sweep(
+            lambda vdd: PINNED, vdds=DEFAULT_VDD_GRID
+        )
+        assert "P006" in codes(violations)
+
+    def test_cmos_profile_rejects_cnfet_asymmetry(self):
+        violations = check_model(PINNED, profile=CMOS_PROFILE)
+        assert "P004" in codes(violations)
+
+    def test_constructor_rejection_reported_as_p000_not_crash(self, monkeypatch):
+        # A table the BitEnergyModel constructor itself refuses must
+        # surface as a P000 violation, not a traceback from the gate.
+        def corrupted() -> BitEnergyModel:
+            raise EnergyModelError("e_wr1 must exceed e_wr0")
+
+        monkeypatch.setattr(BitEnergyModel, "paper_table1", corrupted)
+        violations = check_shipped_models()
+        assert "P000" in codes(violations)
+        p000 = next(v for v in violations if v.code == "P000")
+        assert p000.context == "paper_table1"
+        assert "construction failed" in p000.message

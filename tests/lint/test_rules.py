@@ -1,0 +1,90 @@
+"""Each rule R001-R005 fires on its seeded-violation fixture with the
+exact rule id and line number, and stays quiet where it should."""
+
+from pathlib import Path
+
+from repro.lint import Finding, LintConfig, Severity, lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Fixtures carry ``# lint: skip-file`` so production walks ignore them;
+#: the tests lint them anyway and without source-tree scoping.
+PERMISSIVE = LintConfig(honor_skip_file=False, scope_to_source=False)
+
+
+def findings_for(*names: str, rules: frozenset[str] | None = None) -> list[Finding]:
+    config = LintConfig(
+        honor_skip_file=False, scope_to_source=False, enabled_rules=rules
+    )
+    return lint_paths([FIXTURES / name for name in names], config)
+
+
+def hits(findings: list[Finding]) -> list[tuple[str, int]]:
+    return [(finding.rule_id, finding.line) for finding in findings]
+
+
+class TestR001:
+    def test_fires_on_adhoc_accumulation(self):
+        findings = findings_for("r001_accumulation.py")
+        assert hits(findings) == [("R001", 13)]
+        assert "data_read_fj" in findings[0].message
+        assert findings[0].severity is Severity.ERROR
+
+    def test_quiet_on_clean_file(self):
+        assert findings_for("r005_hygiene.py", rules=frozenset({"R001"})) == []
+
+
+class TestR002:
+    def test_fires_on_literals(self):
+        findings = findings_for("r002_literals.py")
+        assert hits(findings) == [("R002", 4), ("R002", 9), ("R002", 10)]
+        messages = " ".join(finding.message for finding in findings)
+        assert "0.3" in messages
+        assert "1200.0" in messages
+        assert "logic_fj" in messages
+
+    def test_source_scoping_exempts_non_repro_paths(self):
+        config = LintConfig(honor_skip_file=False, scope_to_source=True)
+        assert lint_paths([FIXTURES / "r002_literals.py"], config) == []
+
+
+class TestR003:
+    def test_fires_on_unexported_unregistered_codec(self):
+        findings = findings_for("badpkg")
+        assert hits(findings) == [("R003", 11), ("R003", 11)]
+        messages = [finding.message for finding in findings]
+        assert any("__all__" in message for message in messages)
+        assert any("registry" in message for message in messages)
+        assert all("SneakyCodec" in message for message in messages)
+
+    def test_quiet_on_real_encoding_package(self):
+        src = Path(__file__).resolve().parents[2] / "src" / "repro" / "encoding"
+        assert lint_paths([src], LintConfig(enabled_rules=frozenset({"R003"}))) == []
+
+
+class TestR004:
+    def test_fires_on_unvalidated_field_and_missing_post_init(self):
+        findings = findings_for("r004_config.py")
+        assert hits(findings) == [("R004", 12), ("R004", 21)]
+        assert "height" in findings[0].message
+        assert "NakedConfig" in findings[1].message
+
+    def test_quiet_on_real_config_module(self):
+        src = Path(__file__).resolve().parents[2] / "src" / "repro" / "core"
+        config = LintConfig(enabled_rules=frozenset({"R004"}))
+        assert lint_paths([src / "config.py"], config) == []
+
+
+class TestR005:
+    def test_fires_on_mutable_default_and_bare_except(self):
+        findings = findings_for("r005_hygiene.py")
+        assert hits(findings) == [("R005", 5), ("R005", 9)]
+        assert "mutable default" in findings[0].message
+        assert "bare 'except:'" in findings[1].message
+
+
+class TestSuppression:
+    def test_disable_comment_suppresses_only_its_line(self):
+        findings = findings_for("suppressed.py")
+        assert hits(findings) == [("R005", 10)]
+        assert "loud" in findings[0].message
