@@ -1,0 +1,71 @@
+"""Execution-engine benches: serial vs parallel vs warm-cache replay.
+
+The job set is experiment F3's (every workload under the five main
+schemes — the largest single-figure matrix).  Three modes:
+
+* **serial** — one process, empty engine;
+* **parallel** — the same plan over 4 worker processes;
+* **warm cache** — a second engine pointed at the cache the serial run
+  filled; it must resolve every job without simulating anything.
+
+Each mode asserts the canonical result bytes match the serial reference,
+so the speedups reported by ``--benchmark-only`` are speedups of the
+*same* measurement, not of a drifted one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import ExecEngine, plan_jobs
+from repro.harness.experiments import EXPERIMENT_PLANS
+
+
+def f3_jobs(size, seed):
+    return list(EXPERIMENT_PLANS["f3"](size, seed).values())
+
+
+@pytest.fixture(scope="module")
+def reference(bench_size, bench_seed):
+    """Canonical results of the F3 job set, computed once, serially."""
+    jobs = f3_jobs(bench_size, bench_seed)
+    results = ExecEngine().run_jobs(jobs)
+    return [result.canonical() for result in results]
+
+
+def _run(engine, jobs):
+    return [result.canonical() for result in engine.run_jobs(jobs)]
+
+
+def test_exec_serial(benchmark, bench_size, bench_seed, reference):
+    jobs = f3_jobs(bench_size, bench_seed)
+    canonical = benchmark.pedantic(
+        lambda: _run(ExecEngine(jobs=1), jobs), rounds=1, iterations=1
+    )
+    assert canonical == reference
+
+
+def test_exec_parallel_4_jobs(benchmark, bench_size, bench_seed, reference):
+    jobs = f3_jobs(bench_size, bench_seed)
+    canonical = benchmark.pedantic(
+        lambda: _run(ExecEngine(jobs=4), jobs), rounds=1, iterations=1
+    )
+    assert canonical == reference
+
+
+def test_exec_warm_cache_replay(
+    benchmark, bench_size, bench_seed, reference, tmp_path_factory
+):
+    jobs = f3_jobs(bench_size, bench_seed)
+    cache_dir = tmp_path_factory.mktemp("exec-cache")
+    ExecEngine(cache_dir=cache_dir).run_jobs(jobs)  # fill
+
+    def warm():
+        engine = ExecEngine(cache_dir=cache_dir)
+        canonical = _run(engine, jobs)
+        assert engine.counters.executed == 0  # zero simulations
+        assert engine.counters.cache_hits == len(plan_jobs(jobs).unique)
+        return canonical
+
+    canonical = benchmark.pedantic(warm, rounds=1, iterations=1)
+    assert canonical == reference

@@ -149,6 +149,29 @@ class BitEnergyModel:
         """
         return self.write_energy(ones_after, zeros_after)
 
+    # ------------------------------------------------------------------ #
+    # serialization (exec-engine job fingerprints and result cache)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, float]:
+        """JSON-ready snapshot; inverse of :meth:`from_dict`."""
+        return {
+            "e_rd0": self.e_rd0,
+            "e_rd1": self.e_rd1,
+            "e_wr0": self.e_wr0,
+            "e_wr1": self.e_wr1,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BitEnergyModel":
+        """Rebuild from a :meth:`to_dict` snapshot (strict keys)."""
+        expected = {"e_rd0", "e_rd1", "e_wr0", "e_wr1"}
+        if not isinstance(payload, dict) or set(payload) != expected:
+            raise EnergyModelError(
+                f"energy-model payload must have keys {sorted(expected)}, "
+                f"got {payload!r}"
+            )
+        return cls(**{name: float(payload[name]) for name in expected})
+
     def scaled(self, factor: float) -> "BitEnergyModel":
         """All four energies multiplied by ``factor`` (corner/Vdd scaling)."""
         if factor <= 0:

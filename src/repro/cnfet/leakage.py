@@ -77,6 +77,21 @@ class LeakageModel:
         """A same-node CMOS reference (~30x leakier)."""
         return cls.from_power(_CMOS_LEAK0_NW, _CMOS_LEAK1_NW, cycle_ps)
 
+    def to_dict(self) -> dict[str, float]:
+        """JSON-ready snapshot; inverse of :meth:`from_dict`."""
+        return {"e_leak0": self.e_leak0, "e_leak1": self.e_leak1}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LeakageModel":
+        """Rebuild from a :meth:`to_dict` snapshot (strict keys)."""
+        expected = {"e_leak0", "e_leak1"}
+        if not isinstance(payload, dict) or set(payload) != expected:
+            raise LeakageModelError(
+                f"leakage payload must have keys {sorted(expected)}, "
+                f"got {payload!r}"
+            )
+        return cls(**{name: float(payload[name]) for name in expected})
+
     def cycle_energy(self, ones: int, zeros: int) -> float:
         """Static energy of one cycle for a given stored population, fJ."""
         if ones < 0 or zeros < 0:

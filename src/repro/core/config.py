@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from dataclasses import fields as dataclass_fields
 from typing import Any
 
 from repro.cache.replacement import replacement_policy_names
@@ -274,6 +275,47 @@ class CNTCacheConfig:
     def variant(self, **changes: Any) -> "CNTCacheConfig":
         """A modified copy (sweep helper)."""
         return replace(self, **changes)
+
+    # ------------------------------------------------------------------ #
+    # serialization (exec-engine job fingerprints and result cache)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON-ready snapshot; inverse of :meth:`from_dict`.
+
+        Nested models serialize through their own ``to_dict``; field order
+        follows the dataclass declaration, so
+        ``json.dumps(config.to_dict(), sort_keys=True)`` is a stable
+        canonical form suitable for content hashing.
+        """
+        payload: dict[str, Any] = {}
+        for spec in dataclass_fields(self):
+            value = getattr(self, spec.name)
+            if spec.name in ("energy", "leakage"):
+                payload[spec.name] = None if value is None else value.to_dict()
+            else:
+                payload[spec.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CNTCacheConfig":
+        """Rebuild (and re-validate) a config from a :meth:`to_dict` snapshot."""
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"config payload must be a dict, got {type(payload).__name__}"
+            )
+        expected = {spec.name for spec in dataclass_fields(cls)}
+        unknown = set(payload) - expected
+        missing = expected - set(payload)
+        if unknown or missing:
+            raise ConfigError(
+                f"config payload key mismatch: unknown={sorted(unknown)} "
+                f"missing={sorted(missing)}"
+            )
+        kwargs = dict(payload)
+        kwargs["energy"] = BitEnergyModel.from_dict(kwargs["energy"])
+        if kwargs["leakage"] is not None:
+            kwargs["leakage"] = LeakageModel.from_dict(kwargs["leakage"])
+        return cls(**kwargs)
 
     def describe(self) -> str:
         """Human-readable one-line summary."""

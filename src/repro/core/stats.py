@@ -183,6 +183,83 @@ class EnergyStats:
     def __add__(self, other: "EnergyStats") -> "EnergyStats":
         return EnergyStats.merge((self, other))
 
+    def to_dict(self) -> dict:
+        """Lossless, JSON-ready snapshot — the exact inverse of
+        :meth:`from_dict`.
+
+        Unlike :meth:`as_dict` (a flat reporting view that mixes in derived
+        quantities), this carries exactly the dataclass state: every counter,
+        every energy component and the ``extra`` map, nothing else.  Because
+        JSON round-trips Python ints and finite floats exactly,
+        ``EnergyStats.from_dict(json.loads(json.dumps(stats.to_dict())))``
+        reproduces ``stats`` bit for bit — the property the exec engine's
+        result cache and worker transport rely on.
+        """
+        payload: dict = {
+            spec.name: getattr(self, spec.name)
+            for spec in fields(self)
+            if spec.name != "extra"
+        }
+        payload["extra"] = dict(self.extra)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EnergyStats":
+        """Rebuild a stats object from a :meth:`to_dict` snapshot.
+
+        Validation is strict in both directions — unknown keys and missing
+        keys are errors — so a cache entry written by a different engine
+        schema can never be half-read into silently wrong numbers.
+        """
+        if not isinstance(payload, dict):
+            raise StatsError(
+                f"stats payload must be a dict, got {type(payload).__name__}"
+            )
+        specs = [spec for spec in fields(cls) if spec.name != "extra"]
+        expected = {spec.name for spec in specs} | {"extra"}
+        unknown = set(payload) - expected
+        missing = expected - set(payload)
+        if unknown or missing:
+            raise StatsError(
+                f"stats payload key mismatch: unknown={sorted(unknown)} "
+                f"missing={sorted(missing)}"
+            )
+        energy_names = set(ENERGY_COMPONENTS)
+        stats = cls()
+        for spec in specs:
+            value = payload[spec.name]
+            if spec.name in energy_names:
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    raise StatsError(
+                        f"{spec.name} must be a number, got {value!r}"
+                    )
+                value = float(value)
+                if not math.isfinite(value) or value < 0:
+                    raise StatsError(
+                        f"{spec.name} must be finite and non-negative, "
+                        f"got {value!r}"
+                    )
+            else:
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise StatsError(
+                        f"{spec.name} must be an int, got {value!r}"
+                    )
+            setattr(stats, spec.name, value)
+        extra = payload["extra"]
+        if not isinstance(extra, dict):
+            raise StatsError(f"extra must be a dict, got {type(extra).__name__}")
+        for key, value in extra.items():
+            if not isinstance(key, str):
+                raise StatsError(f"extra keys must be strings, got {key!r}")
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise StatsError(f"extra {key!r} must be a number, got {value!r}")
+            if not math.isfinite(float(value)):
+                raise StatsError(f"extra {key!r} must be finite, got {value!r}")
+            stats.extra[key] = float(value)
+        return stats
+
     def as_dict(self) -> dict[str, float | int]:
         """Flat-dict view (counters + energies + derived)."""
         out: dict[str, float | int] = {

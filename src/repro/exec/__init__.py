@@ -1,0 +1,57 @@
+"""Job/plan execution engine: deduplicated, parallel, cached experiment runs.
+
+Experiments *declare* the simulations they need as frozen, content-hashed
+:class:`SimJob` values; a :class:`~repro.exec.planner.Planner` dedupes
+them and an :class:`ExecEngine` resolves them — via in-memory memo, the
+content-addressed on-disk cache, or actual (optionally multi-process)
+execution.  See docs/EXECUTION.md for the job model, hash scheme, cache
+layout and invalidation rules.
+"""
+
+from repro.exec.engine import (
+    EngineCounters,
+    EngineError,
+    ExecEngine,
+    run_selftest,
+)
+from repro.exec.job import (
+    ENGINE_SCHEMA,
+    JOB_KINDS,
+    JobError,
+    SimJob,
+    audit_job,
+    code_fingerprint,
+    l2_job,
+    normalize_config,
+    oracle_job,
+    trace_job,
+    workload_job,
+)
+from repro.exec.planner import Plan, Planner, plan_jobs
+from repro.exec.result import ExecResult, ResultError
+from repro.exec.worker import execute_job, execute_payload
+
+__all__ = [
+    "ENGINE_SCHEMA",
+    "JOB_KINDS",
+    "EngineCounters",
+    "EngineError",
+    "ExecEngine",
+    "ExecResult",
+    "JobError",
+    "Plan",
+    "Planner",
+    "ResultError",
+    "SimJob",
+    "audit_job",
+    "code_fingerprint",
+    "execute_job",
+    "execute_payload",
+    "l2_job",
+    "normalize_config",
+    "oracle_job",
+    "plan_jobs",
+    "run_selftest",
+    "trace_job",
+    "workload_job",
+]

@@ -1,0 +1,290 @@
+"""The execution engine: memoized, cached, optionally parallel job runs.
+
+:class:`ExecEngine` is the single authority experiments go through to get
+simulation results (lint rule R006 enforces this for
+``repro/harness/experiments.py``).  For every batch of requested jobs it:
+
+1. plans — deduplicates the batch against itself *and* against every job
+   this engine already resolved (so experiments sharing a baseline run
+   simulate it once);
+2. resolves — in-memory memo first, then the content-addressed on-disk
+   cache (``cache_dir``), keyed by :attr:`SimJob.fingerprint` and
+   versioned by the engine schema + code fingerprint;
+3. executes the remainder — serially in-process, or across a
+   ``ProcessPoolExecutor`` when ``jobs > 1``.  Parallel results travel as
+   JSON-exact payloads, so they are bit-identical to serial ones.
+
+Observability: per-job wall time, accesses/second and result source flow
+through the optional ``progress`` callback, and :attr:`ExecEngine.counters`
+aggregates requested/unique/memo/cache/executed totals.
+
+Cache layout (``cache_dir``)::
+
+    <cache_dir>/<fp[:2]>/<fp>.json    one JSON document per result:
+        {"schema": ..., "fingerprint": ..., "job": {...}, "payload": {...}}
+
+A cache file is used only if its schema tag and fingerprint match; any
+mismatch or parse error is treated as a miss (and overwritten), never an
+error.  Because the fingerprint folds in a hash of all simulation source
+(see :func:`repro.exec.job.code_fingerprint`), editing simulator code
+invalidates stale entries automatically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections.abc import Callable, Iterable, Mapping
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exec.job import ENGINE_SCHEMA, SimJob
+from repro.exec.planner import plan_jobs
+from repro.exec.result import ExecResult
+from repro.exec.worker import execute_job, execute_payload
+
+
+class EngineError(RuntimeError):
+    """Raised on invalid engine configuration or use."""
+
+
+@dataclass
+class EngineCounters:
+    """Running totals of everything the engine resolved."""
+
+    requested: int = 0
+    unique: int = 0
+    memo_hits: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+
+    def describe(self) -> str:
+        """One-line summary for logs and the CLI."""
+        return (
+            f"{self.requested} requested, {self.unique} unique, "
+            f"{self.memo_hits} memo hit(s), {self.cache_hits} cache "
+            f"hit(s), {self.executed} simulated"
+        )
+
+
+class ExecEngine:
+    """Plan, deduplicate, cache and execute :class:`SimJob` batches."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | Path | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+            raise EngineError(f"jobs must be a positive int, got {jobs!r}")
+        self.jobs = jobs
+        self.cache_dir = None if cache_dir is None else Path(cache_dir)
+        self.progress = progress
+        self.counters = EngineCounters()
+        #: fingerprint -> resolved result (the cross-batch memo).
+        self._memo: dict[str, ExecResult] = {}
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run_jobs(self, jobs: Iterable[SimJob]) -> list[ExecResult]:
+        """Resolve a batch; returns results aligned with the input order."""
+        ordered = list(jobs)
+        plan = plan_jobs(ordered)
+        self.counters.requested += len(plan.requested)
+
+        pending: list[SimJob] = []
+        for job in plan.unique:
+            if job.fingerprint in self._memo:
+                self.counters.memo_hits += 1
+                self._emit(job, self._memo[job.fingerprint], source="memo")
+                continue
+            self.counters.unique += 1
+            cached = self._cache_read(job)
+            if cached is not None:
+                self.counters.cache_hits += 1
+                self._memo[job.fingerprint] = cached
+                self._emit(job, cached)
+            else:
+                pending.append(job)
+
+        self._execute(pending)
+        return [self._memo[job.fingerprint] for job in ordered]
+
+    def run_map(self, jobs: Mapping) -> dict:
+        """Resolve a ``{key: SimJob}`` mapping into ``{key: ExecResult}``.
+
+        The declarative form the experiments use: declare every job of the
+        experiment keyed by its table coordinates, submit once, consume.
+        """
+        keys = list(jobs)
+        results = self.run_jobs([jobs[key] for key in keys])
+        return dict(zip(keys, results))
+
+    def run_job(self, job: SimJob) -> ExecResult:
+        """Resolve a single job."""
+        return self.run_jobs([job])[0]
+
+    def stats(self, job: SimJob):
+        """Shorthand: the :class:`EnergyStats` of one resolved job."""
+        result = self.run_job(job)
+        if result.stats is None:
+            raise EngineError(f"job {job.label} produced no EnergyStats")
+        return result.stats
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _execute(self, pending: list[SimJob]) -> None:
+        if not pending:
+            return
+        if self.jobs > 1 and len(pending) > 1:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                payloads = pool.map(execute_payload, pending)
+                for job, payload in zip(pending, payloads):
+                    self._store(
+                        job, ExecResult.from_payload(job, payload, "run")
+                    )
+        else:
+            for job in pending:
+                self._store(job, execute_job(job))
+
+    def _store(self, job: SimJob, result: ExecResult) -> None:
+        self.counters.executed += 1
+        self._memo[job.fingerprint] = result
+        self._cache_write(job, result)
+        self._emit(job, result)
+
+    # ------------------------------------------------------------------ #
+    # on-disk cache
+    # ------------------------------------------------------------------ #
+    def _cache_path(self, job: SimJob) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        fingerprint = job.fingerprint
+        return self.cache_dir / fingerprint[:2] / f"{fingerprint}.json"
+
+    def _cache_read(self, job: SimJob) -> ExecResult | None:
+        path = self._cache_path(job)
+        if path is None or not path.is_file():
+            return None
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+            if (
+                document.get("schema") != ENGINE_SCHEMA
+                or document.get("fingerprint") != job.fingerprint
+            ):
+                return None
+            return ExecResult.from_payload(job, document["payload"], "cache")
+        except (OSError, ValueError, KeyError):
+            return None  # corrupt or foreign entry: a miss, never an error
+
+    def _cache_write(self, job: SimJob, result: ExecResult) -> None:
+        path = self._cache_path(job)
+        if path is None:
+            return
+        document = {
+            "schema": ENGINE_SCHEMA,
+            "fingerprint": job.fingerprint,
+            "job": job.describe(),
+            "payload": result.payload(),
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)  # atomic: concurrent runs can share a cache
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def _emit(
+        self, job: SimJob, result: ExecResult, source: str | None = None
+    ) -> None:
+        if self.progress is None:
+            return
+        resolved = (
+            self.counters.memo_hits
+            + self.counters.cache_hits
+            + self.counters.executed
+        )
+        rate = result.accesses_per_s
+        rate_text = f"{rate / 1000:.1f}k acc/s" if rate else "-"
+        self.progress(
+            f"[exec {resolved}] {source or result.source:<5} "
+            f"{result.wall_s:7.3f}s {rate_text:>12}  {job.label}"
+        )
+
+    def summary(self) -> str:
+        """One-line counters summary."""
+        return f"exec: {self.counters.describe()}"
+
+
+# --------------------------------------------------------------------- #
+# selftest: in-process == subprocess == cache read-back
+# --------------------------------------------------------------------- #
+def run_selftest(
+    size: str = "tiny",
+    seed: int = 3,
+    progress: Callable[[str], None] | None = None,
+) -> list[str]:
+    """Assert result parity across every execution mode; returns failures.
+
+    For a representative job of every kind, the measurement must be
+    byte-identical (``ExecResult.canonical``) when executed in-process,
+    in a worker subprocess, and after an on-disk cache round-trip.  This
+    is the determinism contract the parallel executor and the result
+    cache both rest on.
+    """
+    import tempfile
+
+    from repro.core.config import CNTCacheConfig
+    from repro.exec.job import (
+        audit_job,
+        l2_job,
+        oracle_job,
+        trace_job,
+        workload_job,
+    )
+
+    config = CNTCacheConfig()
+    candidates = [
+        workload_job(config, "stream", size, seed),
+        workload_job(config.variant(scheme="baseline"), "stream", size, seed),
+        oracle_job(config, "crc32", size, seed),
+        l2_job(config, "stream", size, seed),
+        audit_job(config, "records", size, seed),
+        trace_job("crc32", size, seed),
+    ]
+    failures: list[str] = []
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        for job in candidates:
+            started = time.perf_counter()
+            inproc = execute_job(job)
+            sub = ExecResult.from_payload(
+                job, pool.submit(execute_payload, job).result(), "run"
+            )
+            with tempfile.TemporaryDirectory() as tmp:
+                writer = ExecEngine(cache_dir=tmp)
+                writer._memo[job.fingerprint] = inproc
+                writer._cache_write(job, inproc)
+                reader = ExecEngine(cache_dir=tmp)
+                cached = reader.run_job(job)
+            ok = (
+                inproc.canonical() == sub.canonical() == cached.canonical()
+                and cached.source == "cache"
+            )
+            if not ok:
+                failures.append(
+                    f"{job.label}: in-process/subprocess/cache results differ"
+                )
+            if progress is not None:
+                verdict = "ok" if ok else "FAIL"
+                progress(
+                    f"selftest {job.label:<40} {verdict} "
+                    f"({time.perf_counter() - started:.2f}s)"
+                )
+    return failures

@@ -1,0 +1,290 @@
+"""Simulation jobs: frozen, content-hashable descriptions of one run.
+
+A :class:`SimJob` is the unit of work of the execution engine.  It names
+*what* to simulate — a workload (by name/size/seed, so the trace is
+rebuilt deterministically inside the worker) under one
+:class:`~repro.core.config.CNTCacheConfig` — and *how* to interpret it
+(the job ``kind``).  Because the job is a pure value, two experiments that
+need the same measurement produce *equal* jobs, and the planner can run
+the simulation once for both.
+
+Content hashing
+---------------
+:attr:`SimJob.fingerprint` is a SHA-256 over the canonical JSON of the
+job description plus two version tags:
+
+* :data:`ENGINE_SCHEMA` — bumped by hand when the meaning of a job kind
+  or the result payload layout changes;
+* :func:`code_fingerprint` — a hash of every source file that can change
+  simulation *semantics* (core simulator, cache substrate, codecs,
+  predictor, device models, trace machinery, workload kernels and the
+  worker itself), so editing any of them invalidates the on-disk result
+  cache automatically.  Harness/rendering code is deliberately excluded:
+  editing an experiment's table layout must *not* force a re-simulation.
+
+Config normalization
+--------------------
+The job constructors route configs through :func:`normalize_config`,
+which resets fields a scheme provably ignores (e.g. the prediction window
+of a ``baseline`` cache) to their defaults.  Jobs that differ only in
+ignored knobs therefore collapse to one simulation — this is what lets a
+W-sweep share a single baseline reference run across every sweep point.
+The invariants behind the map are pinned by tests/exec/test_job.py.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from functools import cached_property, lru_cache
+from pathlib import Path
+
+from repro.core.config import CNTCacheConfig
+from repro.workloads.program import SIZES
+
+#: Version tag of the engine's job/result contract.  Bump when the payload
+#: layout or the meaning of a job kind changes; every cached result keyed
+#: under the old tag becomes unreadable (a cache miss, never a wrong read).
+ENGINE_SCHEMA = "exec-v1"
+
+#: The kinds of work a job can describe.
+#:
+#: ``workload``  replay the workload through a :class:`CNTCache`; result
+#:               carries the full :class:`~repro.core.stats.EnergyStats`.
+#: ``oracle``    posteriori-minimal energy bound (experiment F8).
+#: ``l2``        L1-filtered stream replayed through the config as an L2
+#:               (experiment F11); ``params`` carries the L1 geometry.
+#: ``audit``     hindsight audit of Algorithm 1's decisions (A5).
+#: ``trace``     workload trace characterisation only — no cache, no
+#:               config (table T5).
+JOB_KINDS = ("workload", "oracle", "l2", "audit", "trace")
+
+
+class JobError(ValueError):
+    """Raised on invalid job construction."""
+
+
+#: Config fields a scheme ignores, by scheme.  Resetting them to defaults
+#: merges equivalent jobs; the equivalences are enforced empirically by
+#: tests/exec/test_job.py::TestNormalizationInvariants, so a simulator
+#: change that makes a field matter breaks that test, not the results.
+_PREDICTOR_FIELDS = (
+    "window",
+    "delta_t",
+    "fifo_depth",
+    "drain_per_access",
+    "fill_policy",
+)
+_IGNORED_FIELDS: dict[str, tuple[str, ...]] = {
+    "baseline": _PREDICTOR_FIELDS + ("partitions", "dbi_word_bytes"),
+    "static-invert": _PREDICTOR_FIELDS + ("partitions", "dbi_word_bytes"),
+    "dbi": _PREDICTOR_FIELDS + ("partitions",),
+    "fill-greedy": (
+        "window",
+        "delta_t",
+        "fifo_depth",
+        "drain_per_access",
+        "dbi_word_bytes",
+    ),
+    "invert": ("partitions", "dbi_word_bytes"),
+    "cnt": ("dbi_word_bytes",),
+    "cnt-quant": ("dbi_word_bytes",),
+    "cnt-shared": ("dbi_word_bytes",),
+}
+
+_DEFAULT_CONFIG = CNTCacheConfig()
+
+
+def normalize_config(config: CNTCacheConfig) -> CNTCacheConfig:
+    """Reset scheme-ignored fields to defaults (job-identity canonical form).
+
+    The returned config simulates bit-identically to ``config`` (the reset
+    fields are unread by the scheme's code paths) but compares equal to
+    every other config that differs only in those fields.
+    """
+    ignored = _IGNORED_FIELDS.get(config.scheme, ())
+    changes = {
+        name: getattr(_DEFAULT_CONFIG, name)
+        for name in ignored
+        if getattr(config, name) != getattr(_DEFAULT_CONFIG, name)
+    }
+    return config.variant(**changes) if changes else config
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over every source file that affects simulation results.
+
+    Covers the simulator core, cache substrate, codecs, predictor, device
+    models, trace machinery, workloads, analysis, the two harness compute
+    modules jobs dispatch to (oracle, multilevel) and the exec worker.
+    Cached per process — the sources of a running interpreter don't change.
+    """
+    root = Path(__file__).resolve().parents[1]  # src/repro
+    parts: list[Path] = []
+    for package in (
+        "analysis",
+        "cache",
+        "cnfet",
+        "core",
+        "encoding",
+        "predictor",
+        "trace",
+        "workloads",
+    ):
+        parts.extend(sorted((root / package).rglob("*.py")))
+    parts.append(root / "harness" / "oracle.py")
+    parts.append(root / "harness" / "multilevel.py")
+    parts.append(root / "exec" / "worker.py")
+    digest = hashlib.sha256()
+    for path in parts:
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation, described as a pure value.
+
+    ``config`` is ``None`` only for ``trace`` jobs (characterisation needs
+    no cache).  ``params`` carries kind-specific extras as a sorted tuple
+    of (name, value) pairs — e.g. the L1 geometry of an ``l2`` job — so
+    the job stays hashable and its canonical JSON stays stable.
+    """
+
+    kind: str
+    workload: str
+    size: str
+    seed: int
+    config: CNTCacheConfig | None = None
+    params: tuple[tuple[str, int], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise JobError(f"unknown job kind {self.kind!r}; known: {JOB_KINDS}")
+        if not self.workload or not isinstance(self.workload, str):
+            raise JobError(f"workload must be a non-empty string, got {self.workload!r}")
+        if self.size not in SIZES:
+            raise JobError(f"unknown size {self.size!r}; known: {SIZES}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise JobError(f"seed must be an int, got {self.seed!r}")
+        if self.kind == "trace":
+            if self.config is not None:
+                raise JobError("trace jobs carry no config")
+        elif not isinstance(self.config, CNTCacheConfig):
+            raise JobError(f"{self.kind} jobs require a CNTCacheConfig")
+        for pair in self.params:
+            if (
+                not isinstance(pair, tuple)
+                or len(pair) != 2
+                or not isinstance(pair[0], str)
+                or not isinstance(pair[1], int)
+            ):
+                raise JobError(f"params must be (name, int) pairs, got {pair!r}")
+
+    # ------------------------------------------------------------------ #
+    # identity
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict:
+        """Canonical JSON-ready description (hashed by :attr:`fingerprint`)."""
+        return {
+            "schema": ENGINE_SCHEMA,
+            "code": code_fingerprint(),
+            "kind": self.kind,
+            "workload": self.workload,
+            "size": self.size,
+            "seed": self.seed,
+            "config": None if self.config is None else self.config.to_dict(),
+            "params": [list(pair) for pair in self.params],
+        }
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """Content hash of the job: equal jobs <=> equal fingerprints."""
+        canonical = json.dumps(
+            self.describe(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    @property
+    def label(self) -> str:
+        """Short human label for progress lines and logs."""
+        scheme = self.config.scheme if self.config is not None else "-"
+        return (
+            f"{self.kind}:{self.workload}/{self.size}/s{self.seed}/{scheme}"
+        )
+
+
+# --------------------------------------------------------------------- #
+# constructors (the sanctioned way to build jobs — they normalize)
+# --------------------------------------------------------------------- #
+def workload_job(
+    config: CNTCacheConfig, workload: str, size: str, seed: int
+) -> SimJob:
+    """A full CNTCache replay of one workload under one config."""
+    return SimJob("workload", workload, size, seed, normalize_config(config))
+
+
+def oracle_job(
+    config: CNTCacheConfig, workload: str, size: str, seed: int
+) -> SimJob:
+    """The posteriori oracle bound of one workload (F8).
+
+    Only geometry, codec partitioning, energy model and the peripheral
+    constant reach the oracle, so the config is canonicalised down to a
+    ``cnt`` scheme with default algorithm knobs.
+    """
+    canonical = config.variant(
+        scheme="cnt",
+        window=_DEFAULT_CONFIG.window,
+        delta_t=_DEFAULT_CONFIG.delta_t,
+        fifo_depth=_DEFAULT_CONFIG.fifo_depth,
+        drain_per_access=_DEFAULT_CONFIG.drain_per_access,
+        fill_policy=_DEFAULT_CONFIG.fill_policy,
+        dbi_word_bytes=_DEFAULT_CONFIG.dbi_word_bytes,
+    )
+    return SimJob("oracle", workload, size, seed, canonical)
+
+
+def l2_job(
+    config: CNTCacheConfig,
+    workload: str,
+    size: str,
+    seed: int,
+    l1_size: int = 8 * 1024,
+    l1_assoc: int = 2,
+    l1_line_size: int = 64,
+) -> SimJob:
+    """Replay the L1-filtered stream of a workload through ``config`` (F11)."""
+    return SimJob(
+        "l2",
+        workload,
+        size,
+        seed,
+        normalize_config(config),
+        params=(
+            ("l1_assoc", l1_assoc),
+            ("l1_line_size", l1_line_size),
+            ("l1_size", l1_size),
+        ),
+    )
+
+
+def audit_job(
+    config: CNTCacheConfig, workload: str, size: str, seed: int
+) -> SimJob:
+    """Hindsight-audit Algorithm 1's window decisions on one workload (A5)."""
+    if not config.uses_predictor:
+        raise JobError(
+            f"scheme {config.scheme!r} runs no predictor to audit"
+        )
+    return SimJob("audit", workload, size, seed, normalize_config(config))
+
+
+def trace_job(workload: str, size: str, seed: int) -> SimJob:
+    """Characterise a workload's trace (T5) — no cache involved."""
+    return SimJob("trace", workload, size, seed, None)

@@ -1,0 +1,68 @@
+"""Job planning: dedupe the union of everything the experiments asked for.
+
+The planner is deliberately dumb — jobs are pure values with content
+hashes, so planning is just order-preserving deduplication plus
+bookkeeping.  All the cleverness (what *counts* as the same job) lives in
+:mod:`repro.exec.job`'s normalization.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.exec.job import SimJob
+
+
+@dataclass
+class Plan:
+    """A deduplicated execution plan.
+
+    ``requested`` is every job as submitted (duplicates included);
+    ``unique`` keeps the first occurrence of each fingerprint in
+    submission order, so execution order — and therefore every downstream
+    table — is deterministic.
+    """
+
+    requested: list[SimJob] = field(default_factory=list)
+    unique: list[SimJob] = field(default_factory=list)
+
+    @property
+    def deduplicated(self) -> int:
+        """How many requested jobs were folded into an earlier twin."""
+        return len(self.requested) - len(self.unique)
+
+    def describe(self) -> str:
+        """One-line summary for logs/progress."""
+        return (
+            f"planned {len(self.requested)} job(s), {len(self.unique)} "
+            f"unique ({self.deduplicated} deduplicated)"
+        )
+
+
+class Planner:
+    """Collects job requests and produces a deduplicated :class:`Plan`."""
+
+    def __init__(self) -> None:
+        self._requested: list[SimJob] = []
+        self._unique: dict[str, SimJob] = {}
+
+    def add(self, jobs: Iterable[SimJob]) -> None:
+        """Request jobs (duplicates welcome — that is the point)."""
+        for job in jobs:
+            self._requested.append(job)
+            self._unique.setdefault(job.fingerprint, job)
+
+    def plan(self) -> Plan:
+        """The deduplicated plan, in first-seen submission order."""
+        return Plan(
+            requested=list(self._requested),
+            unique=list(self._unique.values()),
+        )
+
+
+def plan_jobs(jobs: Iterable[SimJob]) -> Plan:
+    """Convenience: one-shot plan of an iterable of jobs."""
+    planner = Planner()
+    planner.add(jobs)
+    return planner.plan()

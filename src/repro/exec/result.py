@@ -1,0 +1,123 @@
+"""Execution results: what a :class:`~repro.exec.job.SimJob` produced.
+
+An :class:`ExecResult` separates the *measurement* (``stats`` and
+``values``, which must be bit-identical however the job ran — in-process,
+in a worker process, or read back from the disk cache) from the
+*observability* metadata (``wall_s``, ``source``), which naturally varies
+between runs and is excluded from :meth:`ExecResult.canonical`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import json
+
+from repro.core.stats import EnergyStats
+from repro.exec.job import SimJob
+
+
+class ResultError(ValueError):
+    """Raised on malformed result payloads."""
+
+
+#: Where a result came from (observability only — never hashed).
+SOURCES = ("run", "memo", "cache")
+
+
+@dataclass
+class ExecResult:
+    """The outcome of one executed job.
+
+    ``stats``
+        Full :class:`EnergyStats` for ``workload``/``l2`` jobs (``None``
+        for kinds that measure no cache energy, and for ``l2`` jobs whose
+        filtered stream is empty).
+    ``values``
+        Kind-specific scalars (oracle bound, audit counters, trace
+        characterisation, workload checksum, preload digest...).
+    ``wall_s`` / ``source``
+        Per-job observability: execution wall time and whether the result
+        was simulated (``run``), deduplicated in memory (``memo``) or read
+        from the on-disk cache (``cache``).
+    """
+
+    job: SimJob
+    stats: EnergyStats | None = None
+    values: dict = field(default_factory=dict)
+    wall_s: float = 0.0
+    source: str = "run"
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    @property
+    def accesses(self) -> int:
+        """Demand accesses simulated (0 when the job metered none)."""
+        if self.stats is not None:
+            return self.stats.accesses
+        value = self.values.get("accesses", 0)
+        return int(value)
+
+    @property
+    def accesses_per_s(self) -> float:
+        """Simulation throughput of this job (0 when unknown)."""
+        if self.wall_s <= 0:
+            return 0.0
+        return self.accesses / self.wall_s
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def payload(self) -> dict:
+        """JSON-ready measurement + wall time; inverse of :meth:`from_payload`.
+
+        This is both the worker -> parent transport format and the on-disk
+        cache format, so every execution mode funnels through the same
+        (lossless) serialization.
+        """
+        return {
+            "stats": None if self.stats is None else self.stats.to_dict(),
+            "values": dict(self.values),
+            "wall_s": self.wall_s,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, job: SimJob, payload: dict, source: str = "run"
+    ) -> "ExecResult":
+        """Rebuild a result from :meth:`payload` output."""
+        if not isinstance(payload, dict) or set(payload) != {
+            "stats",
+            "values",
+            "wall_s",
+        }:
+            raise ResultError(f"malformed result payload: {payload!r}")
+        if source not in SOURCES:
+            raise ResultError(f"unknown source {source!r}; known: {SOURCES}")
+        stats = payload["stats"]
+        values = payload["values"]
+        if not isinstance(values, dict):
+            raise ResultError("result values must be a dict")
+        return cls(
+            job=job,
+            stats=None if stats is None else EnergyStats.from_dict(stats),
+            values=dict(values),
+            wall_s=float(payload["wall_s"]),
+            source=source,
+        )
+
+    def canonical(self) -> str:
+        """Deterministic JSON of the measurement only (no wall/source).
+
+        Two executions of the same job are *correct* iff their canonical
+        strings are byte-identical — the property ``--selftest`` and the
+        determinism suite assert across process and cache boundaries.
+        """
+        return json.dumps(
+            {
+                "stats": None if self.stats is None else self.stats.to_dict(),
+                "values": self.values,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )

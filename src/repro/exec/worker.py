@@ -1,0 +1,177 @@
+"""Job execution: the one place a :class:`SimJob` turns into numbers.
+
+:func:`execute_job` runs in whatever process calls it — the engine uses
+it directly for serial execution and ships :func:`execute_payload` to
+``ProcessPoolExecutor`` workers for parallel execution.  Workloads (and
+L1-filtered streams, which are equally expensive to build) are memoized
+per process, so a sweep of N configs over one workload builds its trace
+once per worker, not N times.
+
+Everything here is deterministic: traces are rebuilt from
+(name, size, seed), the simulator is seeded from the config, and results
+travel as JSON-exact payloads — a worker-process result is bit-identical
+to an in-process run (asserted by ``cntcache selftest``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections.abc import Iterable
+
+from repro.exec.job import SimJob
+from repro.exec.result import ExecResult
+from repro.workloads.program import WorkloadRun, get_workload
+
+#: Per-process workload memo: (name, size, seed) -> built run.
+_RUNS: dict[tuple[str, str, int], WorkloadRun] = {}
+
+#: Per-process L1-filtered stream memo (streams cost a full L1 replay).
+_STREAMS: dict[tuple, list] = {}
+
+
+def build_run(name: str, size: str, seed: int) -> WorkloadRun:
+    """Build (or reuse) the deterministic trace of one workload."""
+    key = (name, size, seed)
+    run = _RUNS.get(key)
+    if run is None:
+        run = get_workload(name).build(size, seed=seed)
+        _RUNS[key] = run
+    return run
+
+
+def clear_memos() -> None:
+    """Drop the per-process workload/stream memos (tests, memory pressure)."""
+    _RUNS.clear()
+    _STREAMS.clear()
+
+
+def preload_digest(preloads: Iterable[tuple[int, bytes]]) -> str:
+    """Short content hash of a preload image (job observability/integrity)."""
+    digest = hashlib.sha256()
+    for addr, payload in sorted(preloads):
+        digest.update(addr.to_bytes(8, "little"))
+        digest.update(len(payload).to_bytes(4, "little"))
+        digest.update(payload)
+    return digest.hexdigest()[:16]
+
+
+# --------------------------------------------------------------------- #
+# kind dispatch
+# --------------------------------------------------------------------- #
+def _execute_workload(job: SimJob) -> ExecResult:
+    from repro.harness.runner import replay
+
+    run = build_run(job.workload, job.size, job.seed)
+    assert job.config is not None
+    sim = replay(job.config, run.trace, run.preloads)
+    return ExecResult(
+        job=job,
+        stats=sim.stats,
+        values={
+            "checksum": run.checksum,
+            "preload_digest": preload_digest(run.preloads),
+        },
+    )
+
+
+def _execute_oracle(job: SimJob) -> ExecResult:
+    from repro.harness.oracle import oracle_bound
+
+    run = build_run(job.workload, job.size, job.seed)
+    assert job.config is not None
+    bound = oracle_bound(job.config, run.trace, run.preloads)
+    return ExecResult(job=job, values={"oracle_fj": bound, "accesses": run.stats.accesses})
+
+
+def _execute_l2(job: SimJob) -> ExecResult:
+    from repro.harness.multilevel import l1_filtered_stream
+    from repro.harness.runner import replay
+
+    run = build_run(job.workload, job.size, job.seed)
+    assert job.config is not None
+    geometry = dict(job.params)
+    stream_key = (job.workload, job.size, job.seed, job.params)
+    stream = _STREAMS.get(stream_key)
+    if stream is None:
+        stream = l1_filtered_stream(
+            run.trace,
+            run.preloads,
+            l1_size=geometry["l1_size"],
+            l1_assoc=geometry["l1_assoc"],
+            line_size=geometry["l1_line_size"],
+        )
+        _STREAMS[stream_key] = stream
+    values = {
+        "stream_accesses": len(stream),
+        "stream_writes": sum(1 for access in stream if access.is_write),
+    }
+    if not stream:
+        return ExecResult(job=job, stats=None, values=values)
+    sim = replay(job.config, stream, run.preloads)
+    return ExecResult(job=job, stats=sim.stats, values=values)
+
+
+def _execute_audit(job: SimJob) -> ExecResult:
+    from repro.analysis.accuracy import audit_predictions
+    from repro.core.cntcache import CNTCache
+
+    run = build_run(job.workload, job.size, job.seed)
+    assert job.config is not None
+    audit = audit_predictions(CNTCache(job.config), run.trace, run.preloads)
+    values = {
+        name: value
+        for name, value in audit.as_dict().items()
+        if name != "accuracy"  # derived; recomputed from the counters
+    }
+    values["correct"] = audit.correct
+    values["accesses"] = run.stats.accesses
+    return ExecResult(job=job, values=values)
+
+
+def _execute_trace(job: SimJob) -> ExecResult:
+    run = build_run(job.workload, job.size, job.seed)
+    stats = run.stats
+    return ExecResult(
+        job=job,
+        values={
+            "accesses": stats.accesses,
+            "reads": stats.reads,
+            "writes": stats.writes,
+            "bytes_read": stats.bytes_read,
+            "bytes_written": stats.bytes_written,
+            "one_bits": stats.one_bits,
+            "total_bits": stats.total_bits,
+            "distinct_lines": stats.distinct_lines,
+            "footprint_bytes": stats.footprint_bytes,
+            "checksum": run.checksum,
+            "preload_digest": preload_digest(run.preloads),
+        },
+    )
+
+
+_DISPATCH = {
+    "workload": _execute_workload,
+    "oracle": _execute_oracle,
+    "l2": _execute_l2,
+    "audit": _execute_audit,
+    "trace": _execute_trace,
+}
+
+
+def execute_job(job: SimJob) -> ExecResult:
+    """Run one job in this process; wall time is measured around the kind."""
+    started = time.perf_counter()
+    result = _DISPATCH[job.kind](job)
+    result.wall_s = time.perf_counter() - started
+    return result
+
+
+def execute_payload(job: SimJob) -> dict:
+    """Pool entry point: run a job, return its serialized payload.
+
+    Returning the payload (not the :class:`ExecResult`) forces every
+    parallel result through the same lossless serialization as the disk
+    cache, so parallel and serial runs cannot diverge silently.
+    """
+    return execute_job(job).payload()

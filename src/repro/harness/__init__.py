@@ -8,11 +8,19 @@ Entry points:
 * :func:`~repro.harness.runner.run_suite` — the full benchmark matrix.
 * :mod:`~repro.harness.experiments` — every paper table/figure by id
   (``t1``, ``f3``, ...); also runnable via ``python -m repro.harness.cli``.
+
+Experiments declare their simulations as :class:`repro.exec.SimJob`
+values and resolve them through an :class:`repro.exec.ExecEngine`
+(deduplicated, optionally parallel and disk-cached);
+:func:`~repro.harness.experiments.plan_experiment` exposes the job plan
+of any experiment without running it.
 """
 
 from repro.harness.experiments import (
+    EXPERIMENT_PLANS,
     EXPERIMENTS,
     ExperimentResult,
+    plan_experiment,
     run_experiment,
 )
 from repro.harness.oracle import oracle_bound
@@ -37,6 +45,8 @@ __all__ = [
     "render_table",
     "render_markdown",
     "EXPERIMENTS",
+    "EXPERIMENT_PLANS",
     "ExperimentResult",
+    "plan_experiment",
     "run_experiment",
 ]

@@ -5,8 +5,17 @@ Examples::
     cntcache list                 # available experiments and workloads
     cntcache t1                   # render Table I
     cntcache f3 --size default    # the main result at full problem size
-    cntcache all --size small     # every experiment
+    cntcache all --size small     # every experiment, one deduplicated plan
+    cntcache all --jobs 4 --cache-dir .exec-cache --progress
+    cntcache selftest             # exec-engine determinism self-check
     cntcache lint src tests       # domain lint + physics-invariant checks
+
+``all`` unions the job plans of every experiment, deduplicates them (the
+baseline reference run is simulated once, not once per figure) and
+resolves the unique set through one shared engine before rendering; with
+``--jobs N`` that whole set executes across N worker processes, and with
+``--cache-dir`` a second invocation replays from the result cache without
+simulating anything.
 """
 
 from __future__ import annotations
@@ -16,14 +25,27 @@ import sys
 import time
 from pathlib import Path
 
-from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.exec import ExecEngine, plan_jobs, run_selftest
+from repro.harness.experiments import (
+    EXPERIMENT_PLANS,
+    EXPERIMENTS,
+    run_experiment,
+)
 from repro.workloads.program import workload_names
 
+#: CLI size names; "smoke" is the CI alias for the smallest problem size.
+SIZE_CHOICES = ("tiny", "small", "default", "smoke")
+SIZE_ALIASES = {"smoke": "tiny"}
 
-def write_report(path: str | Path, size: str, seed: int) -> Path:
+
+def write_report(
+    path: str | Path, size: str, seed: int, engine: ExecEngine | None = None
+) -> Path:
     """Run every experiment and write one self-contained markdown report."""
     import repro
 
+    if engine is None:
+        engine = ExecEngine()
     path = Path(path)
     sections = [
         "# CNT-Cache reproduction report",
@@ -36,7 +58,9 @@ def write_report(path: str | Path, size: str, seed: int) -> Path:
     ]
     for experiment_id in sorted(EXPERIMENTS):
         started = time.time()
-        result = run_experiment(experiment_id, size=size, seed=seed)
+        result = run_experiment(
+            experiment_id, size=size, seed=seed, engine=engine
+        )
         elapsed = time.time() - started
         sections.append(f"## [{result.id}] {result.title}")
         sections.append("")
@@ -57,8 +81,8 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help=(
-            "experiment id (t1, f3, ...), 'all', 'report', 'list', or "
-            "'lint' (see 'cntcache lint --help')"
+            "experiment id (t1, f3, ...), 'all', 'report', 'list', "
+            "'selftest', or 'lint' (see 'cntcache lint --help')"
         ),
     )
     parser.add_argument(
@@ -69,13 +93,38 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--size",
         default="small",
-        choices=("tiny", "small", "default"),
-        help="workload problem size (default: small)",
+        choices=SIZE_CHOICES,
+        help="workload problem size (default: small; smoke = tiny)",
     )
     parser.add_argument(
         "--seed", type=int, default=7, help="workload seed (default: 7)"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for simulation jobs (default: 1 = in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache directory (default: off)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-job progress (source, wall time, accesses/s)",
+    )
     return parser
+
+
+def _engine_from(args: argparse.Namespace) -> ExecEngine:
+    progress = (lambda line: print(line, flush=True)) if args.progress else None
+    return ExecEngine(
+        jobs=args.jobs, cache_dir=args.cache_dir, progress=progress
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -87,6 +136,10 @@ def main(argv: list[str] | None = None) -> int:
 
         return lint_main(argv[1:])
     args = _parser().parse_args(argv)
+    size = SIZE_ALIASES.get(args.size, args.size)
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
 
     if args.experiment == "list":
         print("experiments:")
@@ -98,8 +151,22 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name}")
         return 0
 
+    if args.experiment == "selftest":
+        print("exec engine selftest: in-process == subprocess == cache")
+        failures = run_selftest(
+            size=size, seed=args.seed, progress=lambda line: print(line)
+        )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("selftest passed")
+        return 0
+
     if args.experiment == "report":
-        path = write_report(args.output, size=args.size, seed=args.seed)
+        path = write_report(
+            args.output, size=size, seed=args.seed, engine=_engine_from(args)
+        )
         print(f"report written to {path}")
         return 0
 
@@ -111,12 +178,28 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
+    engine = _engine_from(args)
+    if len(ids) > 1:
+        # Union every experiment's declared jobs, dedupe, resolve up front:
+        # rendering then never simulates (every lookup is a memo hit).
+        union = []
+        for experiment_id in ids:
+            plan = EXPERIMENT_PLANS.get(experiment_id)
+            if plan is not None:
+                union.extend(plan(size, args.seed).values())
+        print(plan_jobs(union).describe(), flush=True)
+        engine.run_jobs(union)
+
     for experiment_id in ids:
         started = time.time()
-        result = run_experiment(experiment_id, size=args.size, seed=args.seed)
+        result = run_experiment(
+            experiment_id, size=size, seed=args.seed, engine=engine
+        )
         print(result.render())
         print(f"  ({time.time() - started:.1f}s)")
         print()
+    if args.progress or args.cache_dir or args.jobs > 1:
+        print(engine.summary())
     return 0
 
 

@@ -5,6 +5,18 @@ Experiment ids follow DESIGN.md: ``t1``/``t2``/``t3`` are tables,
 function takes (size, seed) and returns an :class:`ExperimentResult` whose
 ``render()`` prints the same rows/series the paper reports.
 
+Execution model
+---------------
+Experiments never drive the simulator directly (lint rule R006).  Each
+one *declares* the simulations it needs as :class:`~repro.exec.SimJob`
+values — see the ``_plan_*`` helpers and the :data:`EXPERIMENT_PLANS`
+registry — and consumes :class:`~repro.exec.ExecResult`\\ s from an
+:class:`~repro.exec.ExecEngine`.  The engine deduplicates equal jobs
+across all experiments of a session (e.g. the baseline reference run is
+simulated once, however many figures divide by it), can execute the plan
+across worker processes (``cntcache --jobs N``) and can persist results
+in a content-addressed cache (``--cache-dir``).
+
 Run them all with ``python -m repro.harness.cli all`` or individually, e.g.
 ``python -m repro.harness.cli f3 --size default``.
 """
@@ -18,18 +30,31 @@ from repro.cnfet.corners import cmos_reference_model, scale_to_vdd
 from repro.cnfet.energy import BitEnergyModel
 from repro.cnfet.sram import Sram6TCell
 from repro.core.config import CNTCacheConfig
+from repro.exec import (
+    ExecEngine,
+    ExecResult,
+    SimJob,
+    audit_job,
+    l2_job,
+    oracle_job,
+    trace_job,
+    workload_job,
+)
 from repro.harness.charts import bar_chart, column_chart
-from repro.harness.oracle import oracle_bound
-from repro.harness.runner import run_workload
+from repro.harness.multilevel import default_l2_config
 from repro.harness.tables import render_table
 from repro.predictor.history import history_bits
-from repro.workloads.program import WorkloadRun, get_workload, workload_names
+from repro.workloads.program import workload_names
 
 #: Scheme set of the main comparison figure.
 MAIN_SCHEMES = ("baseline", "static-invert", "dbi", "invert", "cnt")
 
 #: The paper's headline number (abstract).
 PAPER_AVERAGE_SAVING = 0.222
+
+#: key -> SimJob mapping declared by one experiment (dict preserves the
+#: declaration order, which fixes the execution order deterministically).
+JobPlan = dict[tuple, SimJob]
 
 
 @dataclass
@@ -60,28 +85,51 @@ class ExperimentResult:
         return out
 
 
-def _build_runs(size: str, seed: int, names=None) -> dict[str, WorkloadRun]:
+def _engine(engine: ExecEngine | None) -> ExecEngine:
+    """The engine to resolve jobs with (a private serial one by default)."""
+    return engine if engine is not None else ExecEngine()
+
+
+# --------------------------------------------------------------------- #
+# suite-saving helpers shared by the sweep experiments
+# --------------------------------------------------------------------- #
+def _suite_plan(
+    config: CNTCacheConfig,
+    size: str,
+    seed: int,
+    tag: object,
+    names: list[str] | None = None,
+) -> JobPlan:
+    """Measured-vs-baseline jobs of ``config`` over the workload suite."""
     if names is None:
         names = workload_names()
-    return {name: get_workload(name).build(size, seed=seed) for name in names}
+    jobs: JobPlan = {}
+    for name in names:
+        jobs[(tag, name, "measured")] = workload_job(config, name, size, seed)
+        jobs[(tag, name, "reference")] = workload_job(
+            config.variant(scheme="baseline"), name, size, seed
+        )
+    return jobs
 
 
 def _suite_saving(
-    runs: dict[str, WorkloadRun], config: CNTCacheConfig
+    results: dict[tuple, ExecResult], tag: object, names: list[str]
 ) -> tuple[float, dict[str, float]]:
-    """(average, per-workload) fractional saving of ``config`` vs baseline."""
+    """(average, per-workload) fractional saving for one sweep point."""
     per: dict[str, float] = {}
-    for name, run in runs.items():
-        measured = run_workload(config, run).stats
-        base = run_workload(config.variant(scheme="baseline"), run).stats
-        per[name] = measured.savings_vs(base)
+    for name in names:
+        measured = results[(tag, name, "measured")].stats
+        reference = results[(tag, name, "reference")].stats
+        per[name] = measured.savings_vs(reference)
     return sum(per.values()) / len(per), per
 
 
 # --------------------------------------------------------------------- #
 # T1: the per-bit energy table
 # --------------------------------------------------------------------- #
-def experiment_t1(size: str = "small", seed: int = 7) -> ExperimentResult:
+def experiment_t1(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
     """Table I: CNFET SRAM read/write energy per bit value."""
     cell = Sram6TCell()
     derived = BitEnergyModel.from_cell(cell)
@@ -114,7 +162,9 @@ def experiment_t1(size: str = "small", seed: int = 7) -> ExperimentResult:
 # --------------------------------------------------------------------- #
 # T2: simulated cache configuration
 # --------------------------------------------------------------------- #
-def experiment_t2(size: str = "small", seed: int = 7) -> ExperimentResult:
+def experiment_t2(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
     """Table II: the simulated D-Cache configuration."""
     config = CNTCacheConfig()
     rows = [
@@ -144,7 +194,9 @@ def experiment_t2(size: str = "small", seed: int = 7) -> ExperimentResult:
 # --------------------------------------------------------------------- #
 # T4: access-timing breakdown (the paper's "negligible" encoder claim)
 # --------------------------------------------------------------------- #
-def experiment_t4(size: str = "small", seed: int = 7) -> ExperimentResult:
+def experiment_t4(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
     """Table IV: access latency breakdown and encoder timing overhead."""
     from repro.cnfet.timing import SramTimingModel
 
@@ -176,22 +228,41 @@ def experiment_t4(size: str = "small", seed: int = 7) -> ExperimentResult:
 # --------------------------------------------------------------------- #
 # T5: workload characterisation (the standard evaluation-setup table)
 # --------------------------------------------------------------------- #
-def experiment_t5(size: str = "small", seed: int = 7) -> ExperimentResult:
-    """Table V: the benchmark suite's trace characteristics."""
-    runs = _build_runs(size, seed)
+def _plan_t5(size: str, seed: int) -> JobPlan:
     config = CNTCacheConfig(scheme="baseline")
+    jobs: JobPlan = {}
+    for name in workload_names():
+        jobs[("trace", name)] = trace_job(name, size, seed)
+        jobs[("hit", name)] = workload_job(config, name, size, seed)
+    return jobs
+
+
+def experiment_t5(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
+    """Table V: the benchmark suite's trace characteristics."""
+    results = _engine(engine).run_map(_plan_t5(size, seed))
     rows = []
-    for name, run in runs.items():
-        stats = run.stats
-        hit_rate = run_workload(config, run).stats.hit_rate
+    traces: dict[str, dict] = {}
+    for name in workload_names():
+        trace = results[("trace", name)].values
+        traces[name] = trace
+        write_ratio = (
+            trace["writes"] / trace["accesses"] if trace["accesses"] else 0.0
+        )
+        ones_density = (
+            trace["one_bits"] / trace["total_bits"]
+            if trace["total_bits"]
+            else 0.0
+        )
         rows.append(
             [
                 name,
-                stats.accesses,
-                stats.write_ratio,
-                stats.ones_density,
-                stats.footprint_bytes // 1024,
-                hit_rate,
+                trace["accesses"],
+                write_ratio,
+                ones_density,
+                trace["footprint_bytes"] // 1024,
+                results[("hit", name)].stats.hit_rate,
             ]
         )
     return ExperimentResult(
@@ -201,33 +272,46 @@ def experiment_t5(size: str = "small", seed: int = 7) -> ExperimentResult:
                  "footprint KiB", "L1 hit rate"],
         rows=rows,
         floatfmt=".3f",
-        data={"runs": {name: run.stats for name, run in runs.items()}},
+        data={"traces": traces},
     )
 
 
 # --------------------------------------------------------------------- #
 # F3: the main result
 # --------------------------------------------------------------------- #
-def experiment_f3(size: str = "small", seed: int = 7) -> ExperimentResult:
-    """Per-benchmark dynamic-energy saving vs the baseline CNFET cache."""
-    runs = _build_runs(size, seed)
+def _plan_f3(size: str, seed: int) -> JobPlan:
     base_config = CNTCacheConfig()
+    return {
+        (name, scheme): workload_job(
+            base_config.variant(scheme=scheme), name, size, seed
+        )
+        for name in workload_names()
+        for scheme in MAIN_SCHEMES
+    }
+
+
+def experiment_f3(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
+    """Per-benchmark dynamic-energy saving vs the baseline CNFET cache."""
+    results = _engine(engine).run_map(_plan_f3(size, seed))
+    names = workload_names()
     rows = []
     averages = {scheme: 0.0 for scheme in MAIN_SCHEMES if scheme != "baseline"}
     per_scheme: dict[str, dict[str, float]] = {s: {} for s in averages}
-    for name, run in runs.items():
-        base = run_workload(base_config.variant(scheme="baseline"), run).stats
+    for name in names:
+        base = results[(name, "baseline")].stats
         row: list = [name]
         for scheme in MAIN_SCHEMES:
             if scheme == "baseline":
                 continue
-            stats = run_workload(base_config.variant(scheme=scheme), run).stats
+            stats = results[(name, scheme)].stats
             saving = stats.savings_vs(base)
             per_scheme[scheme][name] = saving
             averages[scheme] += saving
             row.append(100 * saving)
         rows.append(row)
-    count = len(runs)
+    count = len(names)
     rows.append(
         ["AVERAGE"] + [100 * averages[s] / count for s in per_scheme]
     )
@@ -255,14 +339,26 @@ def experiment_f3(size: str = "small", seed: int = 7) -> ExperimentResult:
 # --------------------------------------------------------------------- #
 # F4: window sweep
 # --------------------------------------------------------------------- #
-def experiment_f4(size: str = "small", seed: int = 7) -> ExperimentResult:
+_F4_WINDOWS = (4, 8, 16, 32, 64)
+
+
+def _plan_f4(size: str, seed: int) -> JobPlan:
+    jobs: JobPlan = {}
+    for window in _F4_WINDOWS:
+        jobs.update(_suite_plan(CNTCacheConfig(window=window), size, seed, window))
+    return jobs
+
+
+def experiment_f4(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
     """Average saving vs prediction window W (history overhead included)."""
-    runs = _build_runs(size, seed)
+    results = _engine(engine).run_map(_plan_f4(size, seed))
+    names = workload_names()
     rows = []
     series: dict[int, float] = {}
-    for window in (4, 8, 16, 32, 64):
-        config = CNTCacheConfig(window=window)
-        average, _ = _suite_saving(runs, config)
+    for window in _F4_WINDOWS:
+        average, _ = _suite_saving(results, window, names)
         series[window] = average
         rows.append(
             [window, history_bits(window), 100 * average]
@@ -286,22 +382,34 @@ def experiment_f4(size: str = "small", seed: int = 7) -> ExperimentResult:
 # --------------------------------------------------------------------- #
 # F5: partition sweep
 # --------------------------------------------------------------------- #
-def experiment_f5(size: str = "small", seed: int = 7) -> ExperimentResult:
+_F5_PARTITIONS = (1, 2, 4, 8, 16, 32)
+_F5_MIXED = ("records", "fft", "pointer_chase", "stringsearch", "spmv",
+             "matmul")
+
+
+def _plan_f5(size: str, seed: int) -> JobPlan:
+    jobs: JobPlan = {}
+    for partitions in _F5_PARTITIONS:
+        jobs.update(
+            _suite_plan(CNTCacheConfig(partitions=partitions), size, seed,
+                        partitions)
+        )
+    return jobs
+
+
+def experiment_f5(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
     """Average saving vs partition count K (direction overhead included)."""
-    runs = _build_runs(size, seed)
-    mixed = {
-        name: run
-        for name, run in runs.items()
-        if name in ("records", "fft", "pointer_chase", "stringsearch",
-                    "spmv", "matmul")
-    }
+    results = _engine(engine).run_map(_plan_f5(size, seed))
+    names = workload_names()
+    mixed = [name for name in names if name in _F5_MIXED]
     rows = []
     series_all: dict[int, float] = {}
     series_mixed: dict[int, float] = {}
-    for partitions in (1, 2, 4, 8, 16, 32):
-        config = CNTCacheConfig(partitions=partitions)
-        series_all[partitions], _ = _suite_saving(runs, config)
-        series_mixed[partitions], _ = _suite_saving(mixed, config)
+    for partitions in _F5_PARTITIONS:
+        series_all[partitions], _ = _suite_saving(results, partitions, names)
+        series_mixed[partitions], _ = _suite_saving(results, partitions, mixed)
         rows.append(
             [
                 partitions,
@@ -333,17 +441,31 @@ def experiment_f5(size: str = "small", seed: int = 7) -> ExperimentResult:
 # --------------------------------------------------------------------- #
 # F6: hysteresis sweep
 # --------------------------------------------------------------------- #
-def experiment_f6(size: str = "small", seed: int = 7) -> ExperimentResult:
+_F6_DELTAS = (0.0, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5)
+
+
+def _plan_f6(size: str, seed: int) -> JobPlan:
+    jobs: JobPlan = {}
+    for delta_t in _F6_DELTAS:
+        jobs.update(
+            _suite_plan(CNTCacheConfig(delta_t=delta_t), size, seed, delta_t)
+        )
+    return jobs
+
+
+def experiment_f6(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
     """Average saving and switch count vs the hysteresis margin dT."""
-    runs = _build_runs(size, seed)
+    results = _engine(engine).run_map(_plan_f6(size, seed))
+    names = workload_names()
     rows = []
     series: dict[float, float] = {}
-    for delta_t in (0.0, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5):
-        config = CNTCacheConfig(delta_t=delta_t)
-        average, _ = _suite_saving(runs, config)
+    for delta_t in _F6_DELTAS:
+        average, _ = _suite_saving(results, delta_t, names)
         switches = sum(
-            run_workload(config, run).stats.direction_switches
-            for run in runs.values()
+            results[(delta_t, name, "measured")].stats.direction_switches
+            for name in names
         )
         series[delta_t] = average
         rows.append([delta_t, 100 * average, switches])
@@ -364,18 +486,30 @@ def experiment_f6(size: str = "small", seed: int = 7) -> ExperimentResult:
 # --------------------------------------------------------------------- #
 # F7: energy breakdown
 # --------------------------------------------------------------------- #
-def experiment_f7(size: str = "small", seed: int = 7) -> ExperimentResult:
+def _plan_f7(size: str, seed: int) -> JobPlan:
+    return {
+        (scheme, name): workload_job(
+            CNTCacheConfig(scheme=scheme), name, size, seed
+        )
+        for scheme in MAIN_SCHEMES
+        for name in workload_names()
+    }
+
+
+def experiment_f7(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
     """Suite-aggregate energy breakdown per scheme."""
     from repro.core.stats import ENERGY_COMPONENTS, EnergyStats
 
-    runs = _build_runs(size, seed)
+    results = _engine(engine).run_map(_plan_f7(size, seed))
+    names = workload_names()
     rows = []
     totals: dict[str, EnergyStats] = {}
     for scheme in MAIN_SCHEMES:
-        config = CNTCacheConfig(scheme=scheme)
         aggregate = EnergyStats()
-        for run in runs.values():
-            aggregate = aggregate + run_workload(config, run).stats
+        for name in names:
+            aggregate = aggregate + results[(scheme, name)].stats
         totals[scheme] = aggregate
         rows.append(
             [scheme]
@@ -397,16 +531,30 @@ def experiment_f7(size: str = "small", seed: int = 7) -> ExperimentResult:
 # --------------------------------------------------------------------- #
 # F8: oracle gap
 # --------------------------------------------------------------------- #
-def experiment_f8(size: str = "small", seed: int = 7) -> ExperimentResult:
-    """CNT-Cache vs the posteriori oracle encoder."""
-    runs = _build_runs(size, seed)
+def _plan_f8(size: str, seed: int) -> JobPlan:
     config = CNTCacheConfig()
+    jobs: JobPlan = {}
+    for name in workload_names():
+        jobs[(name, "baseline")] = workload_job(
+            config.variant(scheme="baseline"), name, size, seed
+        )
+        jobs[(name, "cnt")] = workload_job(config, name, size, seed)
+        jobs[(name, "oracle")] = oracle_job(config, name, size, seed)
+    return jobs
+
+
+def experiment_f8(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
+    """CNT-Cache vs the posteriori oracle encoder."""
+    results = _engine(engine).run_map(_plan_f8(size, seed))
+    names = workload_names()
     rows = []
     capture: dict[str, float] = {}
-    for name, run in runs.items():
-        base = run_workload(config.variant(scheme="baseline"), run).stats
-        cnt = run_workload(config, run).stats
-        oracle_fj = oracle_bound(config, run.trace, run.preloads)
+    for name in names:
+        base = results[(name, "baseline")].stats
+        cnt = results[(name, "cnt")].stats
+        oracle_fj = results[(name, "oracle")].values["oracle_fj"]
         cnt_saving = cnt.savings_vs(base)
         oracle_saving = 1.0 - oracle_fj / base.total_fj
         captured = cnt_saving / oracle_saving if oracle_saving > 0 else 0.0
@@ -417,9 +565,9 @@ def experiment_f8(size: str = "small", seed: int = 7) -> ExperimentResult:
     rows.append(
         [
             "AVERAGE",
-            sum(row[1] for row in rows) / len(runs),
-            sum(row[2] for row in rows) / len(runs),
-            100 * sum(capture.values()) / len(runs),
+            sum(row[1] for row in rows) / len(names),
+            sum(row[2] for row in rows) / len(names),
+            100 * sum(capture.values()) / len(names),
         ]
     )
     return ExperimentResult(
@@ -434,7 +582,9 @@ def experiment_f8(size: str = "small", seed: int = 7) -> ExperimentResult:
 # --------------------------------------------------------------------- #
 # T3: storage overhead
 # --------------------------------------------------------------------- #
-def experiment_t3(size: str = "small", seed: int = 7) -> ExperimentResult:
+def experiment_t3(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
     """H&D storage overhead as a function of W and K."""
     rows = []
     for window in (4, 8, 16, 32, 64):
@@ -461,35 +611,47 @@ def experiment_t3(size: str = "small", seed: int = 7) -> ExperimentResult:
 # --------------------------------------------------------------------- #
 # F9: supply-voltage sweep, CNFET vs CMOS
 # --------------------------------------------------------------------- #
-def experiment_f9(size: str = "small", seed: int = 7) -> ExperimentResult:
+_F9_VDDS = (0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2)
+
+
+def _f9_configs(vdd: float) -> dict[str, CNTCacheConfig]:
+    cnfet_model = scale_to_vdd(BitEnergyModel.paper_table1(), vdd)
+    cmos_model = cmos_reference_model(vdd)
+    scale = (vdd / 0.9) ** 2
+    return {
+        "cmos": CNTCacheConfig(
+            scheme="baseline", energy=cmos_model,
+            peripheral_fj_per_access=2200.0 * scale,
+        ),
+        "cnfet": CNTCacheConfig(
+            scheme="baseline", energy=cnfet_model,
+            peripheral_fj_per_access=1000.0 * scale,
+        ),
+        "cnt": CNTCacheConfig(
+            energy=cnfet_model, peripheral_fj_per_access=1000.0 * scale
+        ),
+    }
+
+
+def _plan_f9(size: str, seed: int) -> JobPlan:
+    return {
+        (vdd, label): workload_job(config, "records", size, seed)
+        for vdd in _F9_VDDS
+        for label, config in _f9_configs(vdd).items()
+    }
+
+
+def experiment_f9(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
     """Energy per access vs Vdd: CMOS baseline vs CNFET baseline vs CNT-Cache."""
-    run = get_workload("records").build(size, seed=seed)
+    results = _engine(engine).run_map(_plan_f9(size, seed))
     rows = []
     series: dict[float, tuple[float, float, float]] = {}
-    for vdd in (0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2):
-        cnfet_model = scale_to_vdd(BitEnergyModel.paper_table1(), vdd)
-        cmos_model = cmos_reference_model(vdd)
-        scale = (vdd / 0.9) ** 2
-        cnfet_base = run_workload(
-            CNTCacheConfig(
-                scheme="baseline", energy=cnfet_model,
-                peripheral_fj_per_access=1000.0 * scale,
-            ),
-            run,
-        ).stats.energy_per_access_fj
-        cnt = run_workload(
-            CNTCacheConfig(
-                energy=cnfet_model, peripheral_fj_per_access=1000.0 * scale
-            ),
-            run,
-        ).stats.energy_per_access_fj
-        cmos = run_workload(
-            CNTCacheConfig(
-                scheme="baseline", energy=cmos_model,
-                peripheral_fj_per_access=2200.0 * scale,
-            ),
-            run,
-        ).stats.energy_per_access_fj
+    for vdd in _F9_VDDS:
+        cmos = results[(vdd, "cmos")].stats.energy_per_access_fj
+        cnfet_base = results[(vdd, "cnfet")].stats.energy_per_access_fj
+        cnt = results[(vdd, "cnt")].stats.energy_per_access_fj
         series[vdd] = (cmos, cnfet_base, cnt)
         rows.append([f"{vdd:.1f}", cmos, cnfet_base, cnt])
     return ExperimentResult(
@@ -506,14 +668,27 @@ def experiment_f9(size: str = "small", seed: int = 7) -> ExperimentResult:
 # --------------------------------------------------------------------- #
 # Ablations
 # --------------------------------------------------------------------- #
-def experiment_a1(size: str = "small", seed: int = 7) -> ExperimentResult:
+_A1_PERIPHERALS = (0.0, 500.0, 1000.0, 2000.0, 4000.0)
+
+
+def _plan_a1(size: str, seed: int) -> JobPlan:
+    jobs: JobPlan = {}
+    for peripheral in _A1_PERIPHERALS:
+        config = CNTCacheConfig(peripheral_fj_per_access=peripheral)
+        jobs.update(_suite_plan(config, size, seed, peripheral))
+    return jobs
+
+
+def experiment_a1(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
     """Ablation: sensitivity of the average saving to the peripheral constant."""
-    runs = _build_runs(size, seed)
+    results = _engine(engine).run_map(_plan_a1(size, seed))
+    names = workload_names()
     rows = []
     series: dict[float, float] = {}
-    for peripheral in (0.0, 500.0, 1000.0, 2000.0, 4000.0):
-        config = CNTCacheConfig(peripheral_fj_per_access=peripheral)
-        average, _ = _suite_saving(runs, config)
+    for peripheral in _A1_PERIPHERALS:
+        average, _ = _suite_saving(results, peripheral, names)
         series[peripheral] = average
         rows.append([peripheral, 100 * average])
     return ExperimentResult(
@@ -526,13 +701,26 @@ def experiment_a1(size: str = "small", seed: int = 7) -> ExperimentResult:
     )
 
 
-def experiment_a2(size: str = "small", seed: int = 7) -> ExperimentResult:
-    """Ablation: fill-policy choice for the adaptive scheme."""
-    runs = _build_runs(size, seed)
-    rows = []
-    for fill_policy in ("neutral", "read-greedy", "write-greedy"):
+_A2_FILL_POLICIES = ("neutral", "read-greedy", "write-greedy")
+
+
+def _plan_a2(size: str, seed: int) -> JobPlan:
+    jobs: JobPlan = {}
+    for fill_policy in _A2_FILL_POLICIES:
         config = CNTCacheConfig(fill_policy=fill_policy)
-        average, _ = _suite_saving(runs, config)
+        jobs.update(_suite_plan(config, size, seed, fill_policy))
+    return jobs
+
+
+def experiment_a2(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
+    """Ablation: fill-policy choice for the adaptive scheme."""
+    results = _engine(engine).run_map(_plan_a2(size, seed))
+    names = workload_names()
+    rows = []
+    for fill_policy in _A2_FILL_POLICIES:
+        average, _ = _suite_saving(results, fill_policy, names)
         rows.append([fill_policy, 100 * average])
     return ExperimentResult(
         id="a2",
@@ -542,13 +730,26 @@ def experiment_a2(size: str = "small", seed: int = 7) -> ExperimentResult:
     )
 
 
-def experiment_a3(size: str = "small", seed: int = 7) -> ExperimentResult:
-    """Ablation: access granularity (row activation vs divided wordline)."""
-    runs = _build_runs(size, seed)
-    rows = []
-    for granularity in ("line", "word"):
+_A3_GRANULARITIES = ("line", "word")
+
+
+def _plan_a3(size: str, seed: int) -> JobPlan:
+    jobs: JobPlan = {}
+    for granularity in _A3_GRANULARITIES:
         config = CNTCacheConfig(access_granularity=granularity)
-        average, _ = _suite_saving(runs, config)
+        jobs.update(_suite_plan(config, size, seed, granularity))
+    return jobs
+
+
+def experiment_a3(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
+    """Ablation: access granularity (row activation vs divided wordline)."""
+    results = _engine(engine).run_map(_plan_a3(size, seed))
+    names = workload_names()
+    rows = []
+    for granularity in _A3_GRANULARITIES:
+        average, _ = _suite_saving(results, granularity, names)
         rows.append([granularity, 100 * average])
     return ExperimentResult(
         id="a3",
@@ -563,16 +764,29 @@ def experiment_a3(size: str = "small", seed: int = 7) -> ExperimentResult:
     )
 
 
-def experiment_a4(size: str = "small", seed: int = 7) -> ExperimentResult:
-    """Ablation: update-FIFO depth and drain rate."""
-    runs = _build_runs(size, seed)
-    rows = []
-    for depth, drain in ((1, 1), (4, 1), (8, 1), (8, 2), (32, 1)):
+_A4_FIFOS = ((1, 1), (4, 1), (8, 1), (8, 2), (32, 1))
+
+
+def _plan_a4(size: str, seed: int) -> JobPlan:
+    jobs: JobPlan = {}
+    for depth, drain in _A4_FIFOS:
         config = CNTCacheConfig(fifo_depth=depth, drain_per_access=drain)
-        average, _ = _suite_saving(runs, config)
+        jobs.update(_suite_plan(config, size, seed, (depth, drain)))
+    return jobs
+
+
+def experiment_a4(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
+    """Ablation: update-FIFO depth and drain rate."""
+    results = _engine(engine).run_map(_plan_a4(size, seed))
+    names = workload_names()
+    rows = []
+    for depth, drain in _A4_FIFOS:
+        average, _ = _suite_saving(results, (depth, drain), names)
         forced = sum(
-            run_workload(config, run).stats.forced_drains
-            for run in runs.values()
+            results[((depth, drain), name, "measured")].stats.forced_drains
+            for name in names
         )
         rows.append([depth, drain, 100 * average, forced])
     return ExperimentResult(
@@ -583,26 +797,33 @@ def experiment_a4(size: str = "small", seed: int = 7) -> ExperimentResult:
     )
 
 
-def experiment_a5(size: str = "small", seed: int = 7) -> ExperimentResult:
-    """Analysis: hindsight accuracy of Algorithm 1's window decisions."""
-    from repro.analysis.accuracy import audit_predictions
-    from repro.core.cntcache import CNTCache
+def _plan_a5(size: str, seed: int) -> JobPlan:
+    config = CNTCacheConfig()
+    return {
+        (name,): audit_job(config, name, size, seed)
+        for name in workload_names()
+    }
 
-    runs = _build_runs(size, seed)
+
+def experiment_a5(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
+    """Analysis: hindsight accuracy of Algorithm 1's window decisions."""
+    results = _engine(engine).run_map(_plan_a5(size, seed))
     rows = []
     accuracies: dict[str, float] = {}
-    for name, run in runs.items():
-        audit = audit_predictions(
-            CNTCache(CNTCacheConfig()), run.trace, run.preloads
-        )
-        accuracies[name] = audit.accuracy
+    for name in workload_names():
+        audit = results[(name,)].values
+        decisions = audit["decisions"]
+        accuracy = audit["correct"] / decisions if decisions else 0.0
+        accuracies[name] = accuracy
         rows.append(
             [
                 name,
-                audit.decisions,
-                100 * audit.accuracy,
-                audit.switched_correct + audit.switched_wrong,
-                audit.switched_wrong,
+                decisions,
+                100 * accuracy,
+                audit["switched_correct"] + audit["switched_wrong"],
+                audit["switched_wrong"],
             ]
         )
     rows.sort(key=lambda row: row[2], reverse=True)
@@ -631,20 +852,35 @@ def experiment_a5(size: str = "small", seed: int = 7) -> ExperimentResult:
     )
 
 
-def experiment_f10(size: str = "small", seed: int = 7) -> ExperimentResult:
+_F10_CAPACITIES = (4, 8, 16, 32, 64)
+
+
+def _plan_f10(size: str, seed: int) -> JobPlan:
+    jobs: JobPlan = {}
+    for capacity_kib in _F10_CAPACITIES:
+        config = CNTCacheConfig(size=capacity_kib * 1024)
+        jobs.update(_suite_plan(config, size, seed, capacity_kib))
+    return jobs
+
+
+def experiment_f10(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
     """Saving vs cache capacity (hit-rate regime sweep)."""
-    runs = _build_runs(size, seed)
+    results = _engine(engine).run_map(_plan_f10(size, seed))
+    names = workload_names()
     rows = []
     series: dict[int, float] = {}
-    for capacity_kib in (4, 8, 16, 32, 64):
-        config = CNTCacheConfig(size=capacity_kib * 1024)
-        average, _ = _suite_saving(runs, config)
+    for capacity_kib in _F10_CAPACITIES:
+        average, _ = _suite_saving(results, capacity_kib, names)
         hit_rate_total = 0.0
-        for run in runs.values():
-            hit_rate_total += run_workload(config, run).stats.hit_rate
+        for name in names:
+            hit_rate_total += results[
+                (capacity_kib, name, "measured")
+            ].stats.hit_rate
         series[capacity_kib] = average
         rows.append(
-            [capacity_kib, hit_rate_total / len(runs), 100 * average]
+            [capacity_kib, hit_rate_total / len(names), 100 * average]
         )
     return ExperimentResult(
         id="f10",
@@ -659,28 +895,36 @@ def experiment_f10(size: str = "small", seed: int = 7) -> ExperimentResult:
     )
 
 
-def experiment_f11(size: str = "small", seed: int = 7) -> ExperimentResult:
-    """Extension: CNT-Cache as an L2 behind a conventional 8 KiB L1."""
-    from repro.harness.multilevel import default_l2_config, l1_filtered_stream
-    from repro.harness.runner import replay
+def _plan_f11(size: str, seed: int) -> JobPlan:
+    jobs: JobPlan = {}
+    for name in workload_names():
+        for scheme in ("baseline", "cnt"):
+            jobs[(name, scheme)] = l2_job(
+                default_l2_config(scheme), name, size, seed
+            )
+    return jobs
 
-    runs = _build_runs(size, seed)
+
+def experiment_f11(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
+    """Extension: CNT-Cache as an L2 behind a conventional 8 KiB L1."""
+    results = _engine(engine).run_map(_plan_f11(size, seed))
     rows = []
     savings: dict[str, float] = {}
-    for name, run in runs.items():
-        stream = l1_filtered_stream(run.trace, run.preloads)
-        if not stream:
+    for name in workload_names():
+        base = results[(name, "baseline")]
+        cnt = results[(name, "cnt")]
+        stream_accesses = base.values["stream_accesses"]
+        if not stream_accesses:
             continue
-        base = replay(default_l2_config("baseline"), stream, run.preloads)
-        cnt = replay(default_l2_config("cnt"), stream, run.preloads)
         saving = cnt.stats.savings_vs(base.stats)
         savings[name] = saving
         rows.append(
             [
                 name,
-                len(stream),
-                sum(1 for access in stream if access.is_write)
-                / len(stream),
+                stream_accesses,
+                base.values["stream_writes"] / stream_accesses,
                 100 * saving,
             ]
         )
@@ -704,14 +948,27 @@ def experiment_f11(size: str = "small", seed: int = 7) -> ExperimentResult:
     )
 
 
-def experiment_a6(size: str = "small", seed: int = 7) -> ExperimentResult:
+_A6_SCHEMES = ("invert", "cnt", "cnt-quant", "cnt-shared")
+
+
+def _plan_a6(size: str, seed: int) -> JobPlan:
+    jobs: JobPlan = {}
+    for scheme in _A6_SCHEMES:
+        jobs.update(_suite_plan(CNTCacheConfig(scheme=scheme), size, seed, scheme))
+    return jobs
+
+
+def experiment_a6(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
     """Extension: 2-bit quantised write-intensity counter vs exact Wr_num."""
-    runs = _build_runs(size, seed)
+    results = _engine(engine).run_map(_plan_a6(size, seed))
+    names = workload_names()
     rows = []
     savings: dict[str, float] = {}
-    for scheme in ("invert", "cnt", "cnt-quant", "cnt-shared"):
+    for scheme in _A6_SCHEMES:
         config = CNTCacheConfig(scheme=scheme)
-        average, _ = _suite_saving(runs, config)
+        average, _ = _suite_saving(results, scheme, names)
         savings[scheme] = average
         rows.append(
             [
@@ -736,14 +993,27 @@ def experiment_a6(size: str = "small", seed: int = 7) -> ExperimentResult:
     )
 
 
-def experiment_a7(size: str = "small", seed: int = 7) -> ExperimentResult:
+_A7_WRITE_POLICIES = ("wb-wa", "wt-wa", "wt-nwa", "wb-nwa")
+
+
+def _plan_a7(size: str, seed: int) -> JobPlan:
+    jobs: JobPlan = {}
+    for write_policy in _A7_WRITE_POLICIES:
+        config = CNTCacheConfig(write_policy=write_policy)
+        jobs.update(_suite_plan(config, size, seed, write_policy))
+    return jobs
+
+
+def experiment_a7(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
     """Ablation: write policy (write-back/-through, allocate/bypass)."""
-    runs = _build_runs(size, seed)
+    results = _engine(engine).run_map(_plan_a7(size, seed))
+    names = workload_names()
     rows = []
     savings: dict[str, float] = {}
-    for write_policy in ("wb-wa", "wt-wa", "wt-nwa", "wb-nwa"):
-        config = CNTCacheConfig(write_policy=write_policy)
-        average, _ = _suite_saving(runs, config)
+    for write_policy in _A7_WRITE_POLICIES:
+        average, _ = _suite_saving(results, write_policy, names)
         savings[write_policy] = average
         rows.append([write_policy, 100 * average])
     return ExperimentResult(
@@ -759,15 +1029,25 @@ def experiment_a7(size: str = "small", seed: int = 7) -> ExperimentResult:
     )
 
 
-def experiment_a8(size: str = "small", seed: int = 7) -> ExperimentResult:
+def _plan_a8(size: str, seed: int) -> JobPlan:
+    jobs: JobPlan = {}
+    for run_seed in range(seed, seed + 5):
+        jobs.update(_suite_plan(CNTCacheConfig(), size, run_seed, run_seed))
+    return jobs
+
+
+def experiment_a8(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
     """Stability: the headline average across independent workload seeds."""
     import statistics
 
+    results = _engine(engine).run_map(_plan_a8(size, seed))
+    names = workload_names()
     averages = []
     rows = []
     for run_seed in range(seed, seed + 5):
-        runs = _build_runs(size, run_seed)
-        average, _ = _suite_saving(runs, CNTCacheConfig())
+        average, _ = _suite_saving(results, run_seed, names)
         averages.append(average)
         rows.append([run_seed, 100 * average])
     rows.append(["MEAN", 100 * statistics.mean(averages)])
@@ -781,24 +1061,38 @@ def experiment_a8(size: str = "small", seed: int = 7) -> ExperimentResult:
     )
 
 
-def experiment_a9(size: str = "small", seed: int = 7) -> ExperimentResult:
-    """Extension: state-dependent leakage vs the dynamic-only metric."""
+def _a9_models() -> list[tuple[str, object]]:
     from repro.cnfet.leakage import LeakageModel
 
-    runs = _build_runs(size, seed)
-    rows = []
-    data: dict[str, dict[str, float]] = {}
-    for label, leakage in (
+    return [
         ("none (paper)", None),
         ("CNFET", LeakageModel.cnfet()),
         ("CMOS-class", LeakageModel.cmos()),
-    ):
+    ]
+
+
+def _plan_a9(size: str, seed: int) -> JobPlan:
+    jobs: JobPlan = {}
+    for label, leakage in _a9_models():
         config = CNTCacheConfig(leakage=leakage)
-        average, _ = _suite_saving(runs, config)
+        jobs.update(_suite_plan(config, size, seed, label))
+    return jobs
+
+
+def experiment_a9(
+    size: str = "small", seed: int = 7, engine: ExecEngine | None = None
+) -> ExperimentResult:
+    """Extension: state-dependent leakage vs the dynamic-only metric."""
+    results = _engine(engine).run_map(_plan_a9(size, seed))
+    names = workload_names()
+    rows = []
+    data: dict[str, dict[str, float]] = {}
+    for label, _leakage in _a9_models():
+        average, _ = _suite_saving(results, label, names)
         leak_total = 0.0
         grand_total = 0.0
-        for run in runs.values():
-            stats = run_workload(config, run).stats
+        for name in names:
+            stats = results[(label, name, "measured")].stats
             leak_total += stats.leakage_fj
             grand_total += stats.total_fj
         static_share = leak_total / grand_total if grand_total else 0.0
@@ -845,15 +1139,55 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "a9": experiment_a9,
 }
 
+#: Per-experiment job declarations (experiments without simulations are
+#: absent).  ``cntcache all`` unions these, dedupes via the planner and
+#: executes the whole evaluation's unique job set up front.
+EXPERIMENT_PLANS: dict[str, Callable[[str, int], JobPlan]] = {
+    "t5": _plan_t5,
+    "f3": _plan_f3,
+    "f4": _plan_f4,
+    "f5": _plan_f5,
+    "f6": _plan_f6,
+    "f7": _plan_f7,
+    "f8": _plan_f8,
+    "f9": _plan_f9,
+    "a1": _plan_a1,
+    "a2": _plan_a2,
+    "a3": _plan_a3,
+    "a4": _plan_a4,
+    "a5": _plan_a5,
+    "f10": _plan_f10,
+    "f11": _plan_f11,
+    "a6": _plan_a6,
+    "a7": _plan_a7,
+    "a8": _plan_a8,
+    "a9": _plan_a9,
+}
+
+
+def plan_experiment(
+    experiment_id: str, size: str = "small", seed: int = 7
+) -> list[SimJob]:
+    """The jobs one experiment would need (empty for pure-model tables)."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    plan = EXPERIMENT_PLANS.get(experiment_id)
+    return [] if plan is None else list(plan(size, seed).values())
+
 
 def run_experiment(
-    experiment_id: str, size: str = "small", seed: int = 7
+    experiment_id: str,
+    size: str = "small",
+    seed: int = 7,
+    engine: ExecEngine | None = None,
 ) -> ExperimentResult:
-    """Run one experiment by id."""
+    """Run one experiment by id (sharing ``engine``'s memo/cache if given)."""
     try:
         function = EXPERIMENTS[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    return function(size=size, seed=seed)
+    return function(size=size, seed=seed, engine=engine)

@@ -10,6 +10,11 @@ workload trace through a substrate L1: every L1 refill becomes a
 line-granular read and every dirty writeback a line-granular write, in
 program order.  The stream then drives any :class:`~repro.core.CNTCache`
 configuration as the L2.
+
+Experiments declare this as an ``l2`` :class:`repro.exec.SimJob` (see
+:func:`repro.exec.l2_job`, which carries the L1 geometry in the job
+params); the exec worker memoizes the filtered stream per process, so a
+scheme comparison replays each workload's L1 once, not per scheme.
 """
 
 from __future__ import annotations

@@ -4,6 +4,11 @@ Replays a trace through the substrate cache and accumulates, for every
 array event, the posteriori-minimal data energy (per-partition free choice
 of direction, no history, no switch cost, no metadata).  The result lower-
 bounds every realisable encoding policy with the same codec geometry.
+
+Experiments don't call :func:`oracle_bound` directly: they declare an
+``oracle`` :class:`repro.exec.SimJob` (see :func:`repro.exec.oracle_job`)
+and read ``values["oracle_fj"]`` off the :class:`repro.exec.ExecResult`,
+so bounds dedupe and cache like any other measurement.
 """
 
 from __future__ import annotations

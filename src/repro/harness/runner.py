@@ -1,4 +1,12 @@
-"""Trace replay and scheme comparison."""
+"""Trace replay and scheme comparison.
+
+``replay``/``run_workload`` are the low-level in-process primitives (the
+exec worker itself is built on :func:`replay`).  The comparison helpers
+(:func:`compare_schemes`, :func:`run_suite`) additionally accept an
+``engine`` — an :class:`repro.exec.ExecEngine` — in which case they
+*declare* their measurements as jobs and let the engine deduplicate,
+parallelize and cache them.
+"""
 
 from __future__ import annotations
 
@@ -25,6 +33,25 @@ class RunResult:
     def total_fj(self) -> float:
         """Total dynamic energy of the run, fJ."""
         return self.stats.total_fj
+
+    @classmethod
+    def from_exec(cls, result, config: CNTCacheConfig | None = None):
+        """Adapt an :class:`repro.exec.ExecResult` of a workload job.
+
+        ``config`` restores the caller's un-normalized configuration when
+        given (the job's own config has scheme-irrelevant fields reset).
+        """
+        if result.stats is None:
+            raise ValueError(
+                f"job {result.job.label} carries no EnergyStats"
+            )
+        config = result.job.config if config is None else config
+        return cls(
+            workload=result.job.workload,
+            scheme=config.scheme,
+            config=config,
+            stats=result.stats,
+        )
 
 
 def replay(
@@ -54,12 +81,27 @@ def compare_schemes(
     run: WorkloadRun,
     schemes: tuple[str, ...] = ("baseline", "invert", "cnt"),
     base_config: CNTCacheConfig | None = None,
+    engine=None,
 ) -> dict[str, RunResult]:
     """Replay one workload under several schemes on identical traces."""
     if base_config is None:
         base_config = CNTCacheConfig()
+    if engine is None:
+        return {
+            scheme: run_workload(base_config.variant(scheme=scheme), run)
+            for scheme in schemes
+        }
+    from repro.exec import workload_job
+
+    configs = {scheme: base_config.variant(scheme=scheme) for scheme in schemes}
+    results = engine.run_map(
+        {
+            scheme: workload_job(config, run.name, run.size, run.seed)
+            for scheme, config in configs.items()
+        }
+    )
     return {
-        scheme: run_workload(base_config.variant(scheme=scheme), run)
+        scheme: RunResult.from_exec(results[scheme], configs[scheme])
         for scheme in schemes
     }
 
@@ -70,19 +112,45 @@ def run_suite(
     size: str = "small",
     seed: int = 7,
     base_config: CNTCacheConfig | None = None,
+    engine=None,
 ) -> dict[str, dict[str, RunResult]]:
     """The full (workload x scheme) matrix.
 
     Returns ``results[workload][scheme]``.  Every scheme replays the exact
     same trace of each workload, so differences are purely the scheme's.
+    With an ``engine``, the whole matrix is submitted as one job batch
+    (deduplicated, cacheable, ``--jobs N``-parallel).
     """
-    from repro.workloads.program import get_workload
+    if base_config is None:
+        base_config = CNTCacheConfig()
+    names = list(workloads)
+    if engine is None:
+        from repro.workloads.program import get_workload
 
-    results: dict[str, dict[str, RunResult]] = {}
-    for name in workloads:
-        run = get_workload(name).build(size, seed=seed)
-        results[name] = compare_schemes(run, schemes, base_config)
-    return results
+        results: dict[str, dict[str, RunResult]] = {}
+        for name in names:
+            run = get_workload(name).build(size, seed=seed)
+            results[name] = compare_schemes(run, schemes, base_config)
+        return results
+    from repro.exec import workload_job
+
+    configs = {scheme: base_config.variant(scheme=scheme) for scheme in schemes}
+    resolved = engine.run_map(
+        {
+            (name, scheme): workload_job(configs[scheme], name, size, seed)
+            for name in names
+            for scheme in schemes
+        }
+    )
+    return {
+        name: {
+            scheme: RunResult.from_exec(
+                resolved[(name, scheme)], configs[scheme]
+            )
+            for scheme in schemes
+        }
+        for name in names
+    }
 
 
 def savings_table(

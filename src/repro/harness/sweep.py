@@ -1,4 +1,10 @@
-"""Parameter-sweep helpers for the sensitivity experiments."""
+"""Parameter-sweep helpers for the sensitivity experiments.
+
+Each helper optionally takes an :class:`repro.exec.ExecEngine`; with one,
+sweep points are declared as jobs instead of simulated inline, so the
+engine can deduplicate them (config normalization folds equivalent sweep
+points together), run them in parallel and cache them.
+"""
 
 from __future__ import annotations
 
@@ -22,11 +28,26 @@ def sweep_workload(
     base: CNTCacheConfig,
     parameter: str,
     values: Iterable[Any],
+    engine=None,
 ) -> dict[Any, RunResult]:
     """Replay one workload across a parameter sweep."""
+    configs = {value: base.variant(**{parameter: value}) for value in values}
+    if engine is None:
+        return {
+            value: run_workload(config, run)
+            for value, config in configs.items()
+        }
+    from repro.exec import workload_job
+
+    results = engine.run_map(
+        {
+            value: workload_job(config, run.name, run.size, run.seed)
+            for value, config in configs.items()
+        }
+    )
     return {
-        value: run_workload(base.variant(**{parameter: value}), run)
-        for value in values
+        value: RunResult.from_exec(results[value], configs[value])
+        for value in configs
     }
 
 
@@ -34,11 +55,30 @@ def average_savings(
     runs: dict[str, WorkloadRun],
     config: CNTCacheConfig,
     reference_config: CNTCacheConfig,
+    engine=None,
 ) -> float:
     """Arithmetic-mean fractional saving of ``config`` over the workloads."""
+    if engine is None:
+        total = 0.0
+        for run in runs.values():
+            measured = run_workload(config, run).stats
+            reference = run_workload(reference_config, run).stats
+            total += measured.savings_vs(reference)
+        return total / len(runs)
+    from repro.exec import workload_job
+
+    jobs = {}
+    for name, run in runs.items():
+        jobs[(name, "measured")] = workload_job(
+            config, run.name, run.size, run.seed
+        )
+        jobs[(name, "reference")] = workload_job(
+            reference_config, run.name, run.size, run.seed
+        )
+    results = engine.run_map(jobs)
     total = 0.0
-    for run in runs.values():
-        measured = run_workload(config, run).stats
-        reference = run_workload(reference_config, run).stats
-        total += measured.savings_vs(reference)
+    for name in runs:
+        total += results[(name, "measured")].stats.savings_vs(
+            results[(name, "reference")].stats
+        )
     return total / len(runs)

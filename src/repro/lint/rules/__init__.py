@@ -7,6 +7,7 @@ from collections.abc import Iterator
 from repro.lint.rules.base import LintRule
 from repro.lint.rules.configs import ConfigValidationRule
 from repro.lint.rules.energy import EnergyAccumulationRule, EnergyLiteralRule
+from repro.lint.rules.execution import DirectSimulationRule
 from repro.lint.rules.exports import CodecRegistrationRule
 from repro.lint.rules.hygiene import HygieneRule
 
@@ -19,6 +20,7 @@ RULES: dict[str, LintRule] = {
         CodecRegistrationRule(),
         ConfigValidationRule(),
         HygieneRule(),
+        DirectSimulationRule(),
     )
 }
 
@@ -37,5 +39,6 @@ __all__ = [
     "EnergyLiteralRule",
     "CodecRegistrationRule",
     "ConfigValidationRule",
+    "DirectSimulationRule",
     "HygieneRule",
 ]

@@ -1,0 +1,87 @@
+"""Execution-discipline rule R006.
+
+The experiment layer must *declare* simulations as
+:class:`repro.exec.SimJob` values and resolve them through an
+:class:`repro.exec.ExecEngine`.  Driving the simulator directly from an
+experiment bypasses the planner's deduplication, the result cache and the
+parallel executor — and silently re-measures what another figure already
+measured.  This rule pins that architecture.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import LintRule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.lint.engine import LintContext, ParsedModule
+
+#: File the rule polices: the experiment registry module.
+_TARGET_NAME = "experiments.py"
+
+#: Bare call names that mean "simulate right here, right now".
+_DIRECT_RUNNERS = frozenset({"run_workload", "replay"})
+
+#: Simulator class whose construction an experiment must not perform.
+_SIMULATOR = "CNTCache"
+
+
+def _call_name(func: ast.expr) -> str | None:
+    """The bare name a call resolves to (``a.b.f(...)`` -> ``f``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class DirectSimulationRule(LintRule):
+    """R006: experiments declare jobs, they don't drive the simulator.
+
+    Inside an ``experiments.py`` module, flags any call to
+    ``run_workload(...)`` or ``replay(...)`` and any ``CNTCache(...)``
+    construction (which covers the chained ``CNTCache(...).run(...)``
+    form too).  Declare a :class:`repro.exec.SimJob` and resolve it
+    through the engine instead; ``# lint: disable=R006`` marks the rare
+    deliberate exception.
+    """
+
+    rule_id = "R006"
+    summary = (
+        "experiments.py must declare SimJobs via repro.exec, not call "
+        "run_workload()/replay() or construct CNTCache directly"
+    )
+
+    def check_module(
+        self, module: "ParsedModule", context: "LintContext"
+    ) -> Iterator[Finding]:
+        from repro.lint.engine import in_repro_source
+
+        if context.config.scope_to_source and not in_repro_source(module):
+            return
+        if module.path.name != _TARGET_NAME:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node.func)
+            if name in _DIRECT_RUNNERS:
+                yield self.finding(
+                    module.display_path,
+                    node.lineno,
+                    f"direct simulation via '{name}(...)' in an experiment; "
+                    "declare a SimJob and resolve it through the ExecEngine "
+                    "(repro.exec) so it dedupes, caches and parallelizes",
+                )
+            elif name == _SIMULATOR:
+                yield self.finding(
+                    module.display_path,
+                    node.lineno,
+                    f"experiment constructs {_SIMULATOR}(...) directly; "
+                    "declare a SimJob and resolve it through the ExecEngine "
+                    "(repro.exec) instead of driving the simulator inline",
+                )

@@ -1,0 +1,155 @@
+"""Lossless serialization of EnergyStats (and the config object graph).
+
+The exec engine's disk cache and worker transport both rest on
+``from_dict(json.loads(json.dumps(to_dict())))`` being the identity; the
+golden file pins the on-disk layout so a format drift fails loudly here
+before it silently invalidates (or worse, misreads) everyone's caches.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.cnfet.energy import BitEnergyModel
+from repro.cnfet.leakage import LeakageModel
+from repro.core.config import CNTCacheConfig
+from repro.core.stats import EnergyStats, StatsError
+
+GOLDEN = Path(__file__).parent / "golden" / "energy_stats.json"
+
+
+def handcrafted_stats() -> EnergyStats:
+    """A fully-populated stats object with awkward float values."""
+    stats = EnergyStats(
+        accesses=12345,
+        reads=9000,
+        writes=3345,
+        hits=11000,
+        misses=1345,
+        evictions=1200,
+        writebacks=456,
+        windows_completed=77,
+        direction_switches=13,
+        partition_flips=29,
+        pending_dropped=3,
+        forced_drains=1,
+    )
+    stats.add("data_read_fj", 0.1)
+    stats.add("data_read_fj", 0.2)  # 0.30000000000000004 — not round
+    stats.add("data_write_fj", 5.73e3)
+    stats.add("fill_fj", 1.0 / 3.0)
+    stats.add("writeback_fj", 2**-52)
+    stats.add("metadata_read_fj", 123456789.123456789)
+    stats.add("metadata_write_fj", 0.45)
+    stats.add("reencode_fj", 1e-30)
+    stats.add("logic_fj", 2.0)
+    stats.add("peripheral_fj", 1000.0)
+    stats.add("leakage_fj", 0.0)
+    stats.add_extra("oracle_gap_fj", -1.5)
+    stats.add_extra("debug_metric", 7.0)
+    return stats
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        stats = handcrafted_stats()
+        clone = EnergyStats.from_dict(
+            json.loads(json.dumps(stats.to_dict()))
+        )
+        assert clone == stats
+        assert clone.total_fj == stats.total_fj
+
+    def test_round_trip_preserves_non_round_floats_exactly(self):
+        stats = handcrafted_stats()
+        clone = EnergyStats.from_dict(stats.to_dict())
+        assert clone.data_read_fj == 0.1 + 0.2  # bitwise, not approx
+        assert clone.writeback_fj == 2**-52
+        assert clone.extra["oracle_gap_fj"] == -1.5
+
+    def test_empty_stats_round_trip(self):
+        assert EnergyStats.from_dict(EnergyStats().to_dict()) == EnergyStats()
+
+
+class TestGoldenFile:
+    def test_to_dict_matches_golden_layout(self):
+        golden = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        assert handcrafted_stats().to_dict() == golden
+
+    def test_golden_file_loads_into_the_same_object(self):
+        golden = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        assert EnergyStats.from_dict(golden) == handcrafted_stats()
+
+
+class TestStrictness:
+    def test_unknown_key_rejected(self):
+        payload = EnergyStats().to_dict()
+        payload["bonus_fj"] = 1.0
+        with pytest.raises(StatsError, match="unknown"):
+            EnergyStats.from_dict(payload)
+
+    def test_missing_key_rejected(self):
+        payload = EnergyStats().to_dict()
+        del payload["accesses"]
+        with pytest.raises(StatsError, match="missing"):
+            EnergyStats.from_dict(payload)
+
+    def test_non_finite_energy_rejected(self):
+        payload = EnergyStats().to_dict()
+        payload["logic_fj"] = math.inf
+        with pytest.raises(StatsError, match="finite"):
+            EnergyStats.from_dict(payload)
+
+    def test_float_counter_rejected(self):
+        payload = EnergyStats().to_dict()
+        payload["accesses"] = 1.5
+        with pytest.raises(StatsError, match="int"):
+            EnergyStats.from_dict(payload)
+
+    def test_bool_counter_rejected(self):
+        payload = EnergyStats().to_dict()
+        payload["hits"] = True
+        with pytest.raises(StatsError, match="int"):
+            EnergyStats.from_dict(payload)
+
+    def test_non_dict_extra_rejected(self):
+        payload = EnergyStats().to_dict()
+        payload["extra"] = [1, 2]
+        with pytest.raises(StatsError, match="extra"):
+            EnergyStats.from_dict(payload)
+
+
+class TestConfigGraph:
+    """The config side of the cache key serializes losslessly too."""
+
+    def test_default_config_round_trip(self):
+        config = CNTCacheConfig()
+        assert CNTCacheConfig.from_dict(config.to_dict()) == config
+
+    def test_rich_config_round_trip_through_json(self):
+        config = CNTCacheConfig(
+            scheme="dbi",
+            window=8,
+            partitions=4,
+            delta_t=0.15,
+            dbi_word_bytes=8,
+            energy=BitEnergyModel.paper_table1(),
+            leakage=LeakageModel.cnfet(),
+            peripheral_fj_per_access=1234.5,
+        )
+        clone = CNTCacheConfig.from_dict(
+            json.loads(json.dumps(config.to_dict()))
+        )
+        assert clone == config
+        assert clone.leakage == config.leakage
+
+    def test_energy_model_round_trip(self):
+        model = BitEnergyModel.paper_table1()
+        assert BitEnergyModel.from_dict(model.to_dict()) == model
+
+    def test_config_from_dict_revalidates(self):
+        payload = CNTCacheConfig().to_dict()
+        payload["line_size"] = 0
+        with pytest.raises(Exception):
+            CNTCacheConfig.from_dict(payload)

@@ -28,6 +28,58 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["t1", "--size", "enormous"])
 
+    def test_smoke_size_alias(self, capsys):
+        assert main(["t5", "--size", "smoke", "--seed", "3"]) == 0
+        assert "Workload characterisation" in capsys.readouterr().out
+
+    def test_jobs_flag_rejects_nonpositive(self, capsys):
+        assert main(["t1", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_cache_dir_warm_rerun_simulates_nothing(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["f3", "--size", "tiny", "--seed", "3", "--cache-dir", cache]
+        assert main(args) == 0
+        fresh = capsys.readouterr().out
+        assert "simulated" in fresh  # engine summary printed
+        assert "0 cache hit(s)" in fresh
+
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "0 simulated" in warm
+        # identical tables modulo the timing/summary lines
+        strip = lambda text: [  # noqa: E731
+            line
+            for line in text.splitlines()
+            if not line.startswith("exec:") and "(" not in line
+        ]
+        assert strip(fresh) == strip(warm)
+
+    def test_progress_flag_emits_per_job_lines(self, capsys):
+        assert main(["t5", "--size", "tiny", "--seed", "3", "--progress"]) == 0
+        out = capsys.readouterr().out
+        assert "[exec 1]" in out
+        assert "trace:" in out
+        assert "exec:" in out  # summary line
+
+    def test_all_preplans_and_dedupes(self, capsys, monkeypatch):
+        import repro.harness.cli as cli
+
+        monkeypatch.setattr(
+            cli,
+            "EXPERIMENTS",
+            {key: cli.EXPERIMENTS[key] for key in ("f3", "f7", "t1")},
+        )
+        assert main(["all", "--size", "tiny", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        # f3 and f7 request the same 5-scheme matrix: half the plan dedupes.
+        assert "planned 150 job(s), 75 unique (75 deduplicated)" in out
+
+    def test_selftest_command(self, capsys):
+        assert main(["selftest", "--size", "smoke", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "selftest passed" in out
+
     def test_report_writes_markdown(self, tmp_path, capsys, monkeypatch):
         """The report command runs a (stubbed-small) experiment set."""
         import repro.harness.cli as cli

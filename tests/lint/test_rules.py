@@ -83,6 +83,39 @@ class TestR005:
         assert "bare 'except:'" in findings[1].message
 
 
+class TestR006:
+    def test_fires_on_direct_simulation_in_experiments_module(self):
+        findings = findings_for("r006/experiments.py")
+        assert hits(findings) == [
+            ("R006", 11),
+            ("R006", 13),
+            ("R006", 14),
+            ("R006", 15),
+        ]
+        messages = " ".join(finding.message for finding in findings)
+        assert "CNTCache" in messages
+        assert "run_workload" in messages
+        assert "replay" in messages
+        assert "SimJob" in messages
+
+    def test_disable_comment_is_the_escape_hatch(self):
+        findings = findings_for("r006/experiments.py")
+        assert all(finding.line != 20 for finding in findings)
+
+    def test_quiet_outside_experiments_modules(self):
+        assert findings_for(
+            "r001_accumulation.py", rules=frozenset({"R006"})
+        ) == []
+
+    def test_quiet_on_real_experiments_module(self):
+        src = (
+            Path(__file__).resolve().parents[2]
+            / "src" / "repro" / "harness" / "experiments.py"
+        )
+        config = LintConfig(enabled_rules=frozenset({"R006"}))
+        assert lint_paths([src], config) == []
+
+
 class TestSuppression:
     def test_disable_comment_suppresses_only_its_line(self):
         findings = findings_for("suppressed.py")
