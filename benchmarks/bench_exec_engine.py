@@ -6,19 +6,27 @@ schemes — the largest single-figure matrix).  Three modes:
 * **serial** — one process, empty engine;
 * **parallel** — the same plan over 4 worker processes;
 * **warm cache** — a second engine pointed at the cache the serial run
-  filled; it must resolve every job without simulating anything.
+  filled; it must resolve every job without simulating anything;
+* **observed** — the serial plan again with an :class:`repro.obs.Obs`
+  session attached (probes on, counters + manifest entries collected).
 
 Each mode asserts the canonical result bytes match the serial reference,
 so the speedups reported by ``--benchmark-only`` are speedups of the
-*same* measurement, not of a drifted one.
+*same* measurement, not of a drifted one.  The probe-overhead bench
+additionally times disabled-probe and enabled-probe serial runs
+back-to-back and asserts the disabled overhead stays under 5% — the
+zero-cost-when-disabled contract of :mod:`repro.obs.probe`.
 """
 
 from __future__ import annotations
+
+import time
 
 import pytest
 
 from repro.exec import ExecEngine, plan_jobs
 from repro.harness.experiments import EXPERIMENT_PLANS
+from repro.obs import Obs
 
 
 def f3_jobs(size, seed):
@@ -69,3 +77,78 @@ def test_exec_warm_cache_replay(
 
     canonical = benchmark.pedantic(warm, rounds=1, iterations=1)
     assert canonical == reference
+
+
+def test_exec_observed(benchmark, bench_size, bench_seed, reference):
+    """Probes on: the measurement is unchanged, the traffic is captured."""
+    jobs = f3_jobs(bench_size, bench_seed)
+
+    def observed():
+        obs = Obs()
+        canonical = _run(ExecEngine(jobs=1, obs=obs), jobs)
+        summary = obs.summary()
+        assert summary.counters.get("cache.accesses", 0) > 0
+        assert summary.jobs == len(plan_jobs(jobs).unique)
+        return canonical
+
+    canonical = benchmark.pedantic(observed, rounds=1, iterations=1)
+    assert canonical == reference
+
+
+def test_disabled_probe_overhead_under_5_percent(
+    bench_size, bench_seed, reference
+):
+    """Disabled probes cost < 5% of the F3 matrix's serial wall time.
+
+    The instrument-free baseline no longer exists, so the disabled
+    overhead is bounded from above instead of diffed: one observed run
+    counts how often the instrumented sites actually execute (every
+    ``cache.*``/``codec.*`` counter bump is one site hit), a microloop
+    measures what one *disabled* probe call costs on this machine, and
+    the product — a conservative estimate, since the guarded hot sites
+    pay only an attribute load and a branch, not a call — must stay
+    under 5% of the plain serial wall time.
+    """
+    from repro.obs import probe
+
+    jobs = f3_jobs(bench_size, bench_seed)
+
+    # Plain serial wall time, probes off (best of 3).
+    plain = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        canonical = _run(ExecEngine(jobs=1), jobs)
+        plain = min(plain, time.perf_counter() - started)
+        assert canonical == reference
+    assert probe.ENABLED is False
+
+    # How many probe-site executions does this matrix perform?
+    obs = Obs()
+    ExecEngine(jobs=1, obs=obs).run_jobs(jobs)
+    counters = obs.summary().counters
+    # Each counter bump is one call at an instrumented site; the bulk
+    # bumps (codec.*.bytes, flush_writebacks) are single calls, so
+    # counting calls, not values, for those.
+    site_hits = sum(
+        1 if name.endswith((".bytes", "flush_writebacks")) else value
+        for name, value in counters.items()
+    )
+    assert site_hits > 0
+
+    # What does one disabled probe call cost here?
+    rounds = 1_000_000
+    disabled_counter = probe.counter
+    started = time.perf_counter()
+    for _ in range(rounds):
+        disabled_counter("bench.noop")
+    per_call = (time.perf_counter() - started) / rounds
+
+    estimated = site_hits * per_call
+    overhead = estimated / plain
+    print(f"\ndisabled-probe overhead bound: {overhead:.2%} "
+          f"({site_hits} site hits x {per_call * 1e9:.0f}ns "
+          f"= {estimated * 1e3:.1f}ms of {plain:.3f}s)")
+    assert overhead < 0.05, (
+        f"estimated disabled overhead {estimated:.3f}s is "
+        f"{overhead:.1%} of the {plain:.3f}s plain run (>= 5%)"
+    )

@@ -9,7 +9,7 @@ predictor's hindsight accuracy.
 Run:  python examples/analysis_deep_dive.py
 """
 
-from repro import CNTCache, CNTCacheConfig, get_workload
+from repro import CNTCacheConfig, api, get_workload
 from repro.analysis import LineProfiler, audit_predictions, density_profile
 from repro.harness.charts import sparkline
 
@@ -29,7 +29,7 @@ def dissect(name: str) -> None:
     print(f"skewed regions   {len(skewed)}/{len(profile.regions)}")
 
     # 2. Per-line behaviour: hot lines and thrashing lines.
-    profiler = LineProfiler(CNTCache(CNTCacheConfig()))
+    profiler = LineProfiler(api.make_cache())
     profiler.run(run.trace, run.preloads)
     summary = profiler.summary()
     print(f"lines touched    {summary['lines_touched']}, "
@@ -44,22 +44,18 @@ def dissect(name: str) -> None:
               f"write ratio {line.write_ratio:.2f}")
 
     # 3. Predictor quality: does "next window looks like the last" hold?
-    audit = audit_predictions(
-        CNTCache(CNTCacheConfig()), run.trace, run.preloads
-    )
+    audit = audit_predictions(api.make_cache(), run.trace, run.preloads)
     print(f"hindsight audit  {audit.accuracy:.1%} of {audit.decisions} "
           f"decisions confirmed "
           f"({audit.switched_wrong} wrong switches, "
           f"{audit.kept_wrong} missed switches)")
 
     # 4. The resulting energy.
-    base = CNTCache(CNTCacheConfig(scheme="baseline"))
-    base.preload_all(run.preloads)
-    base.run(run.trace)
-    cnt = CNTCache(CNTCacheConfig())
-    cnt.preload_all(run.preloads)
-    cnt.run(run.trace)
-    print(f"outcome          {cnt.stats.savings_vs(base.stats):+.1%} "
+    base = api.simulate(
+        workload=run, config=CNTCacheConfig(scheme="baseline")
+    ).stats
+    cnt = api.simulate(workload=run, config=CNTCacheConfig()).stats
+    print(f"outcome          {cnt.savings_vs(base):+.1%} "
           f"dynamic energy vs baseline")
     print()
 

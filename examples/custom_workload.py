@@ -13,7 +13,7 @@ Run:  python examples/custom_workload.py
 import tempfile
 from pathlib import Path
 
-from repro import CNTCache, CNTCacheConfig, read_trace, write_trace
+from repro import api, read_trace, write_trace
 from repro.workloads.mem import MemView, TracedMemory
 
 
@@ -56,7 +56,7 @@ def main() -> None:
     # 3. Replay under baseline and CNT-Cache.
     results = {}
     for scheme in ("baseline", "cnt"):
-        sim = CNTCache(CNTCacheConfig(scheme=scheme))
+        sim = api.make_cache(scheme=scheme)
         sim.preload_all(mem.preloads)
         sim.run(trace)
         results[scheme] = sim.stats

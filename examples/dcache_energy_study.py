@@ -10,8 +10,7 @@ Run:  python examples/dcache_energy_study.py [--size tiny|small|default]
 
 import argparse
 
-from repro import CNTCacheConfig, get_workload, oracle_bound, workload_names
-from repro.harness.runner import run_workload
+from repro import CNTCacheConfig, api, get_workload, oracle_bound, workload_names
 from repro.harness.tables import render_table
 
 SCHEMES = ("baseline", "static-invert", "dbi", "invert", "cnt")
@@ -35,7 +34,9 @@ def main() -> None:
         run = get_workload(name).build(args.size, seed=args.seed)
         by_scheme = {}
         for scheme in SCHEMES:
-            stats = run_workload(base_config.variant(scheme=scheme), run).stats
+            stats = api.simulate(
+                workload=run, config=base_config.variant(scheme=scheme)
+            ).stats
             by_scheme[scheme] = stats
             aggregate[scheme] += stats.total_fj
         oracle_fj = oracle_bound(base_config, run.trace, run.preloads)

@@ -8,8 +8,7 @@ surfaces, mirroring experiments F4/F5/F6.
 Run:  python examples/design_space_exploration.py
 """
 
-from repro import CNTCacheConfig, get_workload
-from repro.harness.runner import run_workload
+from repro import CNTCacheConfig, api, get_workload
 from repro.harness.tables import render_table
 
 WORKLOADS = ("records", "dijkstra", "stream", "sha256")
@@ -20,14 +19,16 @@ def build_runs(size="small", seed=7):
 
 
 def saving(run, config, baselines):
-    measured = run_workload(config, run).stats
+    measured = api.simulate(workload=run, config=config).stats
     return 100 * measured.savings_vs(baselines[run.name])
 
 
 def main() -> None:
     runs = build_runs()
     baselines = {
-        name: run_workload(CNTCacheConfig(scheme="baseline"), run).stats
+        name: api.simulate(
+            workload=run, config=CNTCacheConfig(scheme="baseline")
+        ).stats
         for name, run in runs.items()
     }
 

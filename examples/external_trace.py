@@ -15,7 +15,7 @@ import random
 import tempfile
 from pathlib import Path
 
-from repro import CNTCache, CNTCacheConfig
+from repro import api
 from repro.harness.tables import render_table
 from repro.trace.external import ValueModel, import_din
 
@@ -48,7 +48,7 @@ def main() -> None:
             row = [kind]
             base_total = None
             for scheme in ("baseline", "invert", "cnt"):
-                sim = CNTCache(CNTCacheConfig(scheme=scheme))
+                sim = api.make_cache(scheme=scheme)
                 sim.run(trace)
                 if scheme == "baseline":
                     base_total = sim.stats.total_fj

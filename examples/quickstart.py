@@ -9,7 +9,7 @@ breakdown and the saving.
 Run:  python examples/quickstart.py
 """
 
-from repro import CNTCache, CNTCacheConfig, get_workload, render_table1
+from repro import CNTCacheConfig, api, get_workload, render_table1
 
 
 def main() -> None:
@@ -28,13 +28,14 @@ def main() -> None:
     )
     print()
 
-    # 3. Replay the identical trace under both schemes.
-    results = {}
-    for scheme in ("baseline", "cnt"):
-        sim = CNTCache(CNTCacheConfig(scheme=scheme))
-        sim.preload_all(run.preloads)  # program inputs -> simulated memory
-        sim.run(run.trace)
-        results[scheme] = sim.stats
+    # 3. Replay the identical trace under both schemes.  simulate()
+    #    preloads the program inputs and replays the full trace.
+    results = {
+        scheme: api.simulate(
+            workload=run, config=CNTCacheConfig(scheme=scheme)
+        ).stats
+        for scheme in ("baseline", "cnt")
+    }
 
     # 4. Compare.
     print("--- baseline CNFET cache " + "-" * 30)

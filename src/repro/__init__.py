@@ -6,26 +6,25 @@ valued-trace cache simulator, the adaptive encoding architecture
 update FIFOs), baseline encoders, a 15-kernel workload suite, and the
 experiment harness that regenerates every table and figure.
 
-Quickstart::
+Quickstart (via the stable facade, :mod:`repro.api`)::
 
-    from repro import CNTCache, CNTCacheConfig, get_workload
+    from repro import CNTCacheConfig, api, get_workload
 
     run = get_workload("records").build("small", seed=7)
-    cnt = CNTCache(CNTCacheConfig(scheme="cnt"))
-    cnt.preload_all(run.preloads)
-    cnt.run(run.trace)
-    base = CNTCache(CNTCacheConfig(scheme="baseline"))
-    base.preload_all(run.preloads)
-    base.run(run.trace)
+    cnt = api.simulate(workload=run, config=CNTCacheConfig(scheme="cnt"))
+    base = api.simulate(workload=run, config=CNTCacheConfig(scheme="baseline"))
     print(f"saving: {cnt.stats.savings_vs(base.stats):.1%}")
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every experiment.
+See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+paper-vs-measured record of every experiment, docs/API.md for the facade
+surface and docs/OBSERVABILITY.md for probes/manifests/profiling.
 """
 
+import warnings
+
+from repro import api
 from repro.cnfet import BitEnergyModel, LeakageModel, Sram6TCell, render_table1
 from repro.core import (
-    CNTCache,
     CNTCacheConfig,
     EnergyStats,
     SCHEMES,
@@ -34,12 +33,14 @@ from repro.core import (
 )
 from repro.harness import compare_schemes, oracle_bound, replay, run_suite
 from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.obs import Obs
 from repro.trace import Access, Op, read_trace, write_trace
 from repro.workloads import WORKLOADS, get_workload, workload_names
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "BitEnergyModel",
     "LeakageModel",
     "Sram6TCell",
@@ -47,6 +48,7 @@ __all__ = [
     "CNTCache",
     "CNTCacheConfig",
     "EnergyStats",
+    "Obs",
     "SCHEMES",
     "preset",
     "preset_names",
@@ -65,3 +67,21 @@ __all__ = [
     "run_experiment",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    # Deprecation shim: the top-level simulator class moved behind the
+    # facade.  `repro.core.CNTCache` stays warning-free for internal and
+    # test code; the convenience spelling nudges toward api.make_cache().
+    if name == "CNTCache":
+        warnings.warn(
+            "importing CNTCache from the top-level 'repro' package is "
+            "deprecated; construct simulators via repro.api.make_cache() "
+            "(or import repro.core.CNTCache directly)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core import CNTCache
+
+        return CNTCache
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -47,7 +47,9 @@ class LineProfiler:
 
     Usage::
 
-        profiler = LineProfiler(CNTCache(config))
+        from repro.api import make_cache
+
+        profiler = LineProfiler(make_cache(config=config))
         profiler.run(run.trace, run.preloads)
         for profile in profiler.top_switchers(5):
             print(profile)

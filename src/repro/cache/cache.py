@@ -21,6 +21,7 @@ from repro.cache.address import AddressError, AddressMapper
 from repro.cache.line import CacheLine
 from repro.cache.memory import MainMemory
 from repro.cache.replacement import ReplacementPolicy, make_replacement_policy
+from repro.obs import probe
 
 
 class CacheError(ValueError):
@@ -247,6 +248,10 @@ class SetAssociativeCache:
                 # No-write-allocate: the store bypasses the data array.
                 assert data is not None
                 self.memory.write_block(addr, data)
+                if probe.ENABLED:
+                    probe.counter("cache.accesses")
+                    probe.counter("cache.misses")
+                    probe.counter("cache.bypass_writes")
                 return AccessResult(
                     hit=False,
                     is_write=True,
@@ -313,6 +318,17 @@ class SetAssociativeCache:
                 )
             )
 
+        if probe.ENABLED:
+            probe.counter("cache.accesses")
+            probe.counter("cache.hits" if hit else "cache.misses")
+            probe.counter(
+                "cache.demand_writes" if is_write else "cache.demand_reads"
+            )
+            if not hit:
+                probe.counter("cache.fills")
+            if victim is not None and victim.dirty:
+                probe.counter("cache.writebacks")
+
         return AccessResult(
             hit=hit,
             is_write=is_write,
@@ -347,6 +363,9 @@ class SetAssociativeCache:
                         )
                     )
                 line.invalidate()
+        if probe.ENABLED:
+            probe.counter("cache.flushes")
+            probe.counter("cache.flush_writebacks", len(events))
         return events
 
     # ------------------------------------------------------------------ #

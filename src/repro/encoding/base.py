@@ -12,6 +12,7 @@ from __future__ import annotations
 import abc
 
 from repro.encoding import bits
+from repro.obs import probe
 
 #: One boolean per partition: True = that partition is stored inverted.
 DirectionWord = tuple[bool, ...]
@@ -70,6 +71,11 @@ class LineCodec(abc.ABC):
     def apply(self, data: bytes, directions: DirectionWord) -> bytes:
         """Encode *or* decode ``data`` (the transform is an involution)."""
         self._check(data, directions)
+        if probe.ENABLED:
+            probe.counter(f"codec.{self.name}.applies")
+            probe.counter(f"codec.{self.name}.bytes", len(data))
+            if any(directions):
+                probe.counter(f"codec.{self.name}.inverting_applies")
         return bits.apply_directions(data, directions)
 
     def encode(self, logical: bytes, directions: DirectionWord) -> bytes:

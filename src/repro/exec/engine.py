@@ -16,7 +16,13 @@ simulation results (lint rule R006 enforces this for
 
 Observability: per-job wall time, accesses/second and result source flow
 through the optional ``progress`` callback, and :attr:`ExecEngine.counters`
-aggregates requested/unique/memo/cache/executed totals.
+aggregates requested/unique/memo/cache/executed totals.  Attaching an
+``obs`` session (:class:`repro.obs.Obs`) additionally turns the probes on
+for the duration of every batch: the engine publishes ``exec.*`` counters
+and queue-wait timings, instrumented simulation code publishes
+``cache.*``/``codec.*``/``workload.*`` traffic (captured per job in the
+workers and shipped home through the result payload), and every unique
+job resolution plus a batch summary lands in the session's run manifest.
 
 Cache layout (``cache_dir``)::
 
@@ -37,6 +43,7 @@ import os
 import time
 from collections.abc import Callable, Iterable, Mapping
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -44,6 +51,7 @@ from repro.exec.job import ENGINE_SCHEMA, SimJob
 from repro.exec.planner import plan_jobs
 from repro.exec.result import ExecResult
 from repro.exec.worker import execute_job, execute_payload
+from repro.obs import probe
 
 
 class EngineError(RuntimeError):
@@ -59,6 +67,31 @@ class EngineCounters:
     memo_hits: int = 0
     cache_hits: int = 0
     executed: int = 0
+
+    @property
+    def resolved(self) -> int:
+        """Total resolutions, however they were served."""
+        return self.memo_hits + self.cache_hits + self.executed
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of resolutions served without simulating (0 if none)."""
+        resolved = self.resolved
+        if not resolved:
+            return 0.0
+        return (self.memo_hits + self.cache_hits) / resolved
+
+    def to_dict(self) -> dict:
+        """JSON-ready totals (manifest summaries, ``profile --json``)."""
+        return {
+            "requested": self.requested,
+            "unique": self.unique,
+            "memo_hits": self.memo_hits,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "resolved": self.resolved,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
 
     def describe(self) -> str:
         """One-line summary for logs and the CLI."""
@@ -77,12 +110,16 @@ class ExecEngine:
         jobs: int = 1,
         cache_dir: str | Path | None = None,
         progress: Callable[[str], None] | None = None,
+        obs=None,
     ) -> None:
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
             raise EngineError(f"jobs must be a positive int, got {jobs!r}")
         self.jobs = jobs
         self.cache_dir = None if cache_dir is None else Path(cache_dir)
         self.progress = progress
+        #: Optional :class:`repro.obs.Obs` session; when set, probes are
+        #: enabled around every batch and manifests are emitted into it.
+        self.obs = obs
         self.counters = EngineCounters()
         #: fingerprint -> resolved result (the cross-batch memo).
         self._memo: dict[str, ExecResult] = {}
@@ -90,23 +127,46 @@ class ExecEngine:
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
+    @contextmanager
+    def observing(self, obs):
+        """Temporarily attach an obs session (``None`` = leave as-is)."""
+        if obs is None:
+            yield self
+            return
+        previous = self.obs
+        self.obs = obs
+        try:
+            yield self
+        finally:
+            self.obs = previous
+
     def run_jobs(self, jobs: Iterable[SimJob]) -> list[ExecResult]:
         """Resolve a batch; returns results aligned with the input order."""
         ordered = list(jobs)
+        with probe.recording(self.obs):
+            with probe.timer("exec.batch"):
+                return self._resolve(ordered)
+
+    def _resolve(self, ordered: list[SimJob]) -> list[ExecResult]:
         plan = plan_jobs(ordered)
         self.counters.requested += len(plan.requested)
+        probe.counter("exec.requested", len(plan.requested))
 
         pending: list[SimJob] = []
         for job in plan.unique:
             if job.fingerprint in self._memo:
                 self.counters.memo_hits += 1
+                probe.counter("exec.memo_hits")
                 self._emit(job, self._memo[job.fingerprint], source="memo")
                 continue
             self.counters.unique += 1
             cached = self._cache_read(job)
             if cached is not None:
                 self.counters.cache_hits += 1
+                probe.counter("exec.cache_hits")
                 self._memo[job.fingerprint] = cached
+                if self.obs is not None:
+                    self.obs.record_job(job, cached)
                 self._emit(job, cached)
             else:
                 pending.append(job)
@@ -143,18 +203,53 @@ class ExecEngine:
             return
         if self.jobs > 1 and len(pending) > 1:
             workers = min(self.jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                payloads = pool.map(execute_payload, pending)
-                for job, payload in zip(pending, payloads):
+            # Force-enable probes in the workers iff they are on here;
+            # per-job captures come back inside the result payloads.
+            initializer = probe.enable_in_worker if probe.ENABLED else None
+            done_at: dict[int, float] = {}
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=initializer
+            ) as pool:
+                queued_at = time.perf_counter()
+                futures = [pool.submit(execute_payload, job) for job in pending]
+                for future in futures:
+                    future.add_done_callback(
+                        lambda f, d=done_at: d.setdefault(
+                            id(f), time.perf_counter()
+                        )
+                    )
+                for job, future in zip(pending, futures):
+                    result = ExecResult.from_payload(job, future.result(), "run")
+                    finished = done_at.get(id(future), time.perf_counter())
+                    # Turnaround minus worker wall time approximates the
+                    # time the job sat waiting for a worker slot.
+                    queue_wait = max(0.0, finished - queued_at - result.wall_s)
                     self._store(
-                        job, ExecResult.from_payload(job, payload, "run")
+                        job, result, queue_wait_s=queue_wait, absorb=True
                     )
         else:
             for job in pending:
                 self._store(job, execute_job(job))
 
-    def _store(self, job: SimJob, result: ExecResult) -> None:
+    def _store(
+        self,
+        job: SimJob,
+        result: ExecResult,
+        queue_wait_s: float = 0.0,
+        absorb: bool = False,
+    ) -> None:
         self.counters.executed += 1
+        if probe.ENABLED:
+            probe.counter("exec.executed")
+            if queue_wait_s:
+                probe.timing("exec.queue_wait", queue_wait_s)
+            # Serial results recorded their probe traffic live; worker
+            # results carry it in the payload snapshot and must be merged
+            # here, exactly once.
+            if absorb:
+                probe.absorb(result.obs)
+        if self.obs is not None:
+            self.obs.record_job(job, result, queue_wait_s=queue_wait_s)
         self._memo[job.fingerprint] = result
         self._cache_write(job, result)
         self._emit(job, result)

@@ -46,7 +46,7 @@ from repro.workloads.program import SIZES
 #: Version tag of the engine's job/result contract.  Bump when the payload
 #: layout or the meaning of a job kind changes; every cached result keyed
 #: under the old tag becomes unreadable (a cache miss, never a wrong read).
-ENGINE_SCHEMA = "exec-v1"
+ENGINE_SCHEMA = "exec-v2"  # v2: result payloads carry an "obs" snapshot
 
 #: The kinds of work a job can describe.
 #:
@@ -117,9 +117,11 @@ def code_fingerprint() -> str:
     """SHA-256 over every source file that affects simulation results.
 
     Covers the simulator core, cache substrate, codecs, predictor, device
-    models, trace machinery, workloads, analysis, the two harness compute
-    modules jobs dispatch to (oracle, multilevel) and the exec worker.
-    Cached per process — the sources of a running interpreter don't change.
+    models, trace machinery, workloads, analysis, the harness compute
+    modules jobs dispatch to (oracle, multilevel, runner), the public
+    facade (``api.py``, which constructs the simulator) and the exec
+    worker.  Cached per process — the sources of a running interpreter
+    don't change.
     """
     root = Path(__file__).resolve().parents[1]  # src/repro
     parts: list[Path] = []
@@ -134,8 +136,10 @@ def code_fingerprint() -> str:
         "workloads",
     ):
         parts.extend(sorted((root / package).rglob("*.py")))
+    parts.append(root / "api.py")
     parts.append(root / "harness" / "oracle.py")
     parts.append(root / "harness" / "multilevel.py")
+    parts.append(root / "harness" / "runner.py")
     parts.append(root / "exec" / "worker.py")
     digest = hashlib.sha256()
     for path in parts:

@@ -39,6 +39,11 @@ class ExecResult:
         Per-job observability: execution wall time and whether the result
         was simulated (``run``), deduplicated in memory (``memo``) or read
         from the on-disk cache (``cache``).
+    ``obs``
+        The per-job probe snapshot (counters/timers/events captured by
+        :func:`repro.obs.probe.capture` while the job ran) — ``{}`` when
+        the job ran with probes disabled.  Like ``wall_s``/``source`` it
+        is transport-only observability, excluded from :meth:`canonical`.
     """
 
     job: SimJob
@@ -46,6 +51,7 @@ class ExecResult:
     values: dict = field(default_factory=dict)
     wall_s: float = 0.0
     source: str = "run"
+    obs: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # observability
@@ -79,6 +85,7 @@ class ExecResult:
             "stats": None if self.stats is None else self.stats.to_dict(),
             "values": dict(self.values),
             "wall_s": self.wall_s,
+            "obs": dict(self.obs),
         }
 
     @classmethod
@@ -90,20 +97,25 @@ class ExecResult:
             "stats",
             "values",
             "wall_s",
+            "obs",
         }:
             raise ResultError(f"malformed result payload: {payload!r}")
         if source not in SOURCES:
             raise ResultError(f"unknown source {source!r}; known: {SOURCES}")
         stats = payload["stats"]
         values = payload["values"]
+        obs = payload["obs"]
         if not isinstance(values, dict):
             raise ResultError("result values must be a dict")
+        if not isinstance(obs, dict):
+            raise ResultError("result obs snapshot must be a dict")
         return cls(
             job=job,
             stats=None if stats is None else EnergyStats.from_dict(stats),
             values=dict(values),
             wall_s=float(payload["wall_s"]),
             source=source,
+            obs=dict(obs),
         )
 
     def canonical(self) -> str:

@@ -21,6 +21,7 @@ from collections.abc import Iterable
 
 from repro.exec.job import SimJob
 from repro.exec.result import ExecResult
+from repro.obs import probe
 from repro.workloads.program import WorkloadRun, get_workload
 
 #: Per-process workload memo: (name, size, seed) -> built run.
@@ -35,8 +36,12 @@ def build_run(name: str, size: str, seed: int) -> WorkloadRun:
     key = (name, size, seed)
     run = _RUNS.get(key)
     if run is None:
-        run = get_workload(name).build(size, seed=seed)
+        with probe.timer("phase.workload_build"):
+            run = get_workload(name).build(size, seed=seed)
         _RUNS[key] = run
+        probe.counter("workload.builds")
+    else:
+        probe.counter("workload.memo_hits")
     return run
 
 
@@ -94,13 +99,17 @@ def _execute_l2(job: SimJob) -> ExecResult:
     stream_key = (job.workload, job.size, job.seed, job.params)
     stream = _STREAMS.get(stream_key)
     if stream is None:
-        stream = l1_filtered_stream(
-            run.trace,
-            run.preloads,
-            l1_size=geometry["l1_size"],
-            l1_assoc=geometry["l1_assoc"],
-            line_size=geometry["l1_line_size"],
-        )
+        # The substrate-L1 replay is memoized infrastructure, not the
+        # measurement; pause probes so cache.* counters stay per-job
+        # deterministic whatever the worker-process topology.
+        with probe.timer("phase.l1_filter"), probe.paused():
+            stream = l1_filtered_stream(
+                run.trace,
+                run.preloads,
+                l1_size=geometry["l1_size"],
+                l1_assoc=geometry["l1_assoc"],
+                line_size=geometry["l1_line_size"],
+            )
         _STREAMS[stream_key] = stream
     values = {
         "stream_accesses": len(stream),
@@ -114,11 +123,13 @@ def _execute_l2(job: SimJob) -> ExecResult:
 
 def _execute_audit(job: SimJob) -> ExecResult:
     from repro.analysis.accuracy import audit_predictions
-    from repro.core.cntcache import CNTCache
+    from repro.api import make_cache
 
     run = build_run(job.workload, job.size, job.seed)
     assert job.config is not None
-    audit = audit_predictions(CNTCache(job.config), run.trace, run.preloads)
+    audit = audit_predictions(
+        make_cache(config=job.config), run.trace, run.preloads
+    )
     values = {
         name: value
         for name, value in audit.as_dict().items()
@@ -160,10 +171,19 @@ _DISPATCH = {
 
 
 def execute_job(job: SimJob) -> ExecResult:
-    """Run one job in this process; wall time is measured around the kind."""
+    """Run one job in this process; wall time is measured around the kind.
+
+    With probes enabled, the job runs inside a nested capture scope and
+    the snapshot rides home on :attr:`ExecResult.obs` — the payload-dict
+    transport that makes per-job counters process-safe.
+    """
     started = time.perf_counter()
-    result = _DISPATCH[job.kind](job)
+    with probe.capture() as scope:
+        with probe.timer(f"phase.{job.kind}"):
+            result = _DISPATCH[job.kind](job)
     result.wall_s = time.perf_counter() - started
+    if scope is not None:
+        result.obs = scope.snapshot()
     return result
 
 

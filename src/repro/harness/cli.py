@@ -9,6 +9,8 @@ Examples::
     cntcache all --jobs 4 --cache-dir .exec-cache --progress
     cntcache selftest             # exec-engine determinism self-check
     cntcache lint src tests       # domain lint + physics-invariant checks
+    cntcache profile --size smoke --jobs 2   # pipeline breakdown + manifest
+    cntcache profile --json --manifest run.jsonl  # machine-readable
 
 ``all`` unions the job plans of every experiment, deduplicates them (the
 baseline reference run is simulated once, not once per figure) and
@@ -82,7 +84,7 @@ def _parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment id (t1, f3, ...), 'all', 'report', 'list', "
-            "'selftest', or 'lint' (see 'cntcache lint --help')"
+            "'selftest', 'profile', or 'lint' (see 'cntcache lint --help')"
         ),
     )
     parser.add_argument(
@@ -116,6 +118,32 @@ def _parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="print per-job progress (source, wall time, accesses/s)",
+    )
+    profiling = parser.add_argument_group("profile command")
+    profiling.add_argument(
+        "--experiment",
+        dest="experiments",
+        action="append",
+        metavar="ID",
+        help="experiment(s) to profile (repeatable; default: all)",
+    )
+    profiling.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="write the JSONL run manifest to PATH",
+    )
+    profiling.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="slowest jobs to list in the breakdown (default: 10)",
+    )
+    profiling.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the profile report as JSON (CI trending)",
     )
     return parser
 
@@ -161,6 +189,36 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"FAIL: {failure}", file=sys.stderr)
             return 1
         print("selftest passed")
+        return 0
+
+    if args.experiment == "profile":
+        import json as json_module
+
+        from repro.obs.profile import ProfileError, profile_experiments
+
+        progress = (
+            (lambda line: print(line, flush=True)) if args.progress else None
+        )
+        try:
+            report = profile_experiments(
+                args.experiments,
+                size=size,
+                seed=args.seed,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                manifest=args.manifest,
+                top=args.top,
+                progress=progress,
+            )
+        except ProfileError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        if args.json:
+            print(json_module.dumps(report.to_dict(), sort_keys=True))
+        else:
+            print(report.render())
+            if args.manifest:
+                print(f"\nmanifest written to {args.manifest}")
         return 0
 
     if args.experiment == "report":

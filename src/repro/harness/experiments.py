@@ -87,7 +87,11 @@ class ExperimentResult:
 
 def _engine(engine: ExecEngine | None) -> ExecEngine:
     """The engine to resolve jobs with (a private serial one by default)."""
-    return engine if engine is not None else ExecEngine()
+    if engine is not None:
+        return engine
+    from repro.api import make_engine
+
+    return make_engine()
 
 
 # --------------------------------------------------------------------- #
@@ -1182,12 +1186,21 @@ def run_experiment(
     size: str = "small",
     seed: int = 7,
     engine: ExecEngine | None = None,
+    obs=None,
 ) -> ExperimentResult:
-    """Run one experiment by id (sharing ``engine``'s memo/cache if given)."""
+    """Run one experiment by id (sharing ``engine``'s memo/cache if given).
+
+    ``engine``/``obs`` follow the harness-wide convention documented in
+    :mod:`repro.harness.runner`; with an ``obs`` session, the experiment's
+    job resolutions land in its manifest.
+    """
     try:
         function = EXPERIMENTS[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    return function(size=size, seed=seed, engine=engine)
+    if obs is None:
+        return function(size=size, seed=seed, engine=engine)
+    with _engine(engine).observing(obs) as attached:
+        return function(size=size, seed=seed, engine=attached)

@@ -1,21 +1,38 @@
 """Trace replay and scheme comparison.
 
-``replay``/``run_workload`` are the low-level in-process primitives (the
-exec worker itself is built on :func:`replay`).  The comparison helpers
-(:func:`compare_schemes`, :func:`run_suite`) additionally accept an
-``engine`` — an :class:`repro.exec.ExecEngine` — in which case they
-*declare* their measurements as jobs and let the engine deduplicate,
-parallelize and cache them.
+:func:`replay` is the low-level in-process primitive (the exec worker
+itself is built on it).  The comparison helpers (:func:`compare_schemes`,
+:func:`run_suite`, :func:`savings_table` and the sweep helpers in
+:mod:`repro.harness.sweep`) follow one shared convention:
+
+``engine=``  (default ``None``)
+    An :class:`repro.exec.ExecEngine`.  When given, the helper *declares*
+    its measurements as jobs and lets the engine deduplicate, parallelize
+    and cache them; when ``None`` it replays in-process.
+``obs=``  (default ``None``)
+    An :class:`repro.obs.Obs` session.  When given, probes record into it
+    for the duration of the call — through
+    :meth:`~repro.exec.ExecEngine.observing` on the engine path, or a
+    direct :func:`repro.obs.probe.recording` block on the in-process
+    path.  ``obs`` never changes the measurement (probe-disabled runs are
+    byte-identical; the test suite asserts this).
+
+Every helper uses exactly these keyword names and defaults; this
+docstring is the normative description (the sweep module refers here).
+
+The historical :func:`run_workload` entry point is deprecated — use
+:func:`repro.api.simulate` (or :func:`compare_schemes` with an engine).
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Iterable
 from dataclasses import dataclass
 
-from repro.core.cntcache import CNTCache
 from repro.core.config import CNTCacheConfig
 from repro.core.stats import EnergyStats
+from repro.obs import probe
 from repro.trace.record import Access
 from repro.workloads.program import WorkloadRun
 
@@ -58,16 +75,22 @@ def replay(
     config: CNTCacheConfig,
     trace: Iterable[Access],
     preloads: Iterable[tuple[int, bytes]] = (),
-) -> CNTCache:
+):
     """Replay a trace through a fresh cache; returns the simulator."""
-    sim = CNTCache(config)
+    from repro.api import make_cache
+
+    sim = make_cache(config=config)
     sim.preload_all(preloads)
     sim.run(trace)
     return sim
 
 
-def run_workload(config: CNTCacheConfig, run: WorkloadRun) -> RunResult:
-    """Replay one workload run through one configuration."""
+def _run_workload(config: CNTCacheConfig, run: WorkloadRun) -> RunResult:
+    """Replay one workload run through one configuration (internal).
+
+    First-party code calls this (or better, :func:`repro.api.simulate`);
+    the public :func:`run_workload` name is a deprecation shim around it.
+    """
     sim = replay(config, run.trace, run.preloads)
     return RunResult(
         workload=run.name,
@@ -77,29 +100,47 @@ def run_workload(config: CNTCacheConfig, run: WorkloadRun) -> RunResult:
     )
 
 
+def run_workload(config: CNTCacheConfig, run: WorkloadRun) -> RunResult:
+    """Deprecated: use :func:`repro.api.simulate` instead."""
+    warnings.warn(
+        "repro.harness.run_workload() is deprecated; use "
+        "repro.api.simulate(workload=..., config=...) or an ExecEngine",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_workload(config, run)
+
+
 def compare_schemes(
     run: WorkloadRun,
     schemes: tuple[str, ...] = ("baseline", "invert", "cnt"),
     base_config: CNTCacheConfig | None = None,
     engine=None,
+    obs=None,
 ) -> dict[str, RunResult]:
-    """Replay one workload under several schemes on identical traces."""
+    """Replay one workload under several schemes on identical traces.
+
+    ``engine``/``obs`` follow the module-level convention (see the
+    module docstring).
+    """
     if base_config is None:
         base_config = CNTCacheConfig()
     if engine is None:
-        return {
-            scheme: run_workload(base_config.variant(scheme=scheme), run)
-            for scheme in schemes
-        }
+        with probe.recording(obs):
+            return {
+                scheme: _run_workload(base_config.variant(scheme=scheme), run)
+                for scheme in schemes
+            }
     from repro.exec import workload_job
 
     configs = {scheme: base_config.variant(scheme=scheme) for scheme in schemes}
-    results = engine.run_map(
-        {
-            scheme: workload_job(config, run.name, run.size, run.seed)
-            for scheme, config in configs.items()
-        }
-    )
+    with engine.observing(obs):
+        results = engine.run_map(
+            {
+                scheme: workload_job(config, run.name, run.size, run.seed)
+                for scheme, config in configs.items()
+            }
+        )
     return {
         scheme: RunResult.from_exec(results[scheme], configs[scheme])
         for scheme in schemes
@@ -113,13 +154,15 @@ def run_suite(
     seed: int = 7,
     base_config: CNTCacheConfig | None = None,
     engine=None,
+    obs=None,
 ) -> dict[str, dict[str, RunResult]]:
     """The full (workload x scheme) matrix.
 
     Returns ``results[workload][scheme]``.  Every scheme replays the exact
     same trace of each workload, so differences are purely the scheme's.
     With an ``engine``, the whole matrix is submitted as one job batch
-    (deduplicated, cacheable, ``--jobs N``-parallel).
+    (deduplicated, cacheable, ``--jobs N``-parallel); ``engine``/``obs``
+    follow the module-level convention.
     """
     if base_config is None:
         base_config = CNTCacheConfig()
@@ -128,20 +171,22 @@ def run_suite(
         from repro.workloads.program import get_workload
 
         results: dict[str, dict[str, RunResult]] = {}
-        for name in names:
-            run = get_workload(name).build(size, seed=seed)
-            results[name] = compare_schemes(run, schemes, base_config)
+        with probe.recording(obs):
+            for name in names:
+                run = get_workload(name).build(size, seed=seed)
+                results[name] = compare_schemes(run, schemes, base_config)
         return results
     from repro.exec import workload_job
 
     configs = {scheme: base_config.variant(scheme=scheme) for scheme in schemes}
-    resolved = engine.run_map(
-        {
-            (name, scheme): workload_job(configs[scheme], name, size, seed)
-            for name in names
-            for scheme in schemes
-        }
-    )
+    with engine.observing(obs):
+        resolved = engine.run_map(
+            {
+                (name, scheme): workload_job(configs[scheme], name, size, seed)
+                for name in names
+                for scheme in schemes
+            }
+        )
     return {
         name: {
             scheme: RunResult.from_exec(
@@ -156,8 +201,16 @@ def run_suite(
 def savings_table(
     results: dict[str, dict[str, RunResult]],
     reference: str = "baseline",
+    engine=None,
+    obs=None,
 ) -> dict[str, dict[str, float]]:
-    """Fractional savings of every scheme vs the reference, per workload."""
+    """Fractional savings of every scheme vs the reference, per workload.
+
+    Pure arithmetic over already-measured results; ``engine``/``obs`` are
+    accepted for convention uniformity (see the module docstring) but
+    nothing here simulates, so they are unused.
+    """
+    del engine, obs  # uniform signature; no simulation happens here
     table: dict[str, dict[str, float]] = {}
     for workload, by_scheme in results.items():
         base = by_scheme[reference].stats

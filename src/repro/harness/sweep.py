@@ -1,9 +1,11 @@
 """Parameter-sweep helpers for the sensitivity experiments.
 
-Each helper optionally takes an :class:`repro.exec.ExecEngine`; with one,
+Each helper accepts ``engine=`` and ``obs=`` under the harness-wide
+convention documented in :mod:`repro.harness.runner`: with an engine,
 sweep points are declared as jobs instead of simulated inline, so the
 engine can deduplicate them (config normalization folds equivalent sweep
-points together), run them in parallel and cache them.
+points together), run them in parallel and cache them; with an ``obs``
+session, probe traffic records into it either way.
 """
 
 from __future__ import annotations
@@ -12,7 +14,8 @@ from collections.abc import Iterable
 from typing import Any
 
 from repro.core.config import CNTCacheConfig
-from repro.harness.runner import RunResult, run_workload
+from repro.harness.runner import RunResult, _run_workload
+from repro.obs import probe
 from repro.workloads.program import WorkloadRun
 
 
@@ -29,22 +32,25 @@ def sweep_workload(
     parameter: str,
     values: Iterable[Any],
     engine=None,
+    obs=None,
 ) -> dict[Any, RunResult]:
     """Replay one workload across a parameter sweep."""
     configs = {value: base.variant(**{parameter: value}) for value in values}
     if engine is None:
-        return {
-            value: run_workload(config, run)
-            for value, config in configs.items()
-        }
+        with probe.recording(obs):
+            return {
+                value: _run_workload(config, run)
+                for value, config in configs.items()
+            }
     from repro.exec import workload_job
 
-    results = engine.run_map(
-        {
-            value: workload_job(config, run.name, run.size, run.seed)
-            for value, config in configs.items()
-        }
-    )
+    with engine.observing(obs):
+        results = engine.run_map(
+            {
+                value: workload_job(config, run.name, run.size, run.seed)
+                for value, config in configs.items()
+            }
+        )
     return {
         value: RunResult.from_exec(results[value], configs[value])
         for value in configs
@@ -56,14 +62,16 @@ def average_savings(
     config: CNTCacheConfig,
     reference_config: CNTCacheConfig,
     engine=None,
+    obs=None,
 ) -> float:
     """Arithmetic-mean fractional saving of ``config`` over the workloads."""
     if engine is None:
         total = 0.0
-        for run in runs.values():
-            measured = run_workload(config, run).stats
-            reference = run_workload(reference_config, run).stats
-            total += measured.savings_vs(reference)
+        with probe.recording(obs):
+            for run in runs.values():
+                measured = _run_workload(config, run).stats
+                reference = _run_workload(reference_config, run).stats
+                total += measured.savings_vs(reference)
         return total / len(runs)
     from repro.exec import workload_job
 
@@ -75,7 +83,8 @@ def average_savings(
         jobs[(name, "reference")] = workload_job(
             reference_config, run.name, run.size, run.seed
         )
-    results = engine.run_map(jobs)
+    with engine.observing(obs):
+        results = engine.run_map(jobs)
     total = 0.0
     for name in runs:
         total += results[(name, "measured")].stats.savings_vs(

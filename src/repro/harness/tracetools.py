@@ -90,11 +90,10 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
-    from repro.core.cntcache import CNTCache
-    from repro.core.config import CNTCacheConfig
+    from repro.api import make_cache
 
     trace = load_any(args.path)
-    sim = CNTCache(CNTCacheConfig(scheme=args.scheme))
+    sim = make_cache(scheme=args.scheme)
     sim.run(trace)
     print(sim.stats.report())
     return 0

@@ -1,11 +1,19 @@
 """Execution-discipline rule R006.
 
-The experiment layer must *declare* simulations as
-:class:`repro.exec.SimJob` values and resolve them through an
-:class:`repro.exec.ExecEngine`.  Driving the simulator directly from an
-experiment bypasses the planner's deduplication, the result cache and the
-parallel executor — and silently re-measures what another figure already
-measured.  This rule pins that architecture.
+Two related disciplines share this rule id:
+
+* **Experiments declare, they don't drive.**  The experiment layer must
+  *declare* simulations as :class:`repro.exec.SimJob` values and resolve
+  them through an :class:`repro.exec.ExecEngine`.  Driving the simulator
+  directly from an experiment bypasses the planner's deduplication, the
+  result cache and the parallel executor — and silently re-measures what
+  another figure already measured.
+* **Everything else goes through the facade.**  Outside
+  ``repro/api.py``, package code must not construct ``CNTCache(...)``
+  directly nor call the deprecated ``run_workload(...)``; the facade
+  (:func:`repro.api.make_cache`, :func:`repro.api.simulate`) is the one
+  sanctioned entry, so the public surface can evolve without chasing
+  scattered call sites.
 """
 
 from __future__ import annotations
@@ -20,14 +28,23 @@ from repro.lint.rules.base import LintRule
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.lint.engine import LintContext, ParsedModule
 
-#: File the rule polices: the experiment registry module.
+#: File the experiment-discipline branch polices.
 _TARGET_NAME = "experiments.py"
 
 #: Bare call names that mean "simulate right here, right now".
 _DIRECT_RUNNERS = frozenset({"run_workload", "replay"})
 
-#: Simulator class whose construction an experiment must not perform.
+#: Simulator class whose construction must go through the facade.
 _SIMULATOR = "CNTCache"
+
+#: Files allowed to bypass the facade: the facade itself, and the module
+#: that defines the simulator (its docstrings/tests-of-self aside, the
+#: class must be constructible somewhere).
+_FACADE_EXEMPT = frozenset({"api.py", "cntcache.py"})
+
+#: Deprecated entry points the facade branch flags (``replay`` stays a
+#: sanctioned low-level primitive; only experiments.py may not call it).
+_FACADE_RUNNERS = frozenset({"run_workload"})
 
 
 def _call_name(func: ast.expr) -> str | None:
@@ -40,20 +57,25 @@ def _call_name(func: ast.expr) -> str | None:
 
 
 class DirectSimulationRule(LintRule):
-    """R006: experiments declare jobs, they don't drive the simulator.
+    """R006: simulate through the engine; construct through the facade.
 
     Inside an ``experiments.py`` module, flags any call to
     ``run_workload(...)`` or ``replay(...)`` and any ``CNTCache(...)``
     construction (which covers the chained ``CNTCache(...).run(...)``
-    form too).  Declare a :class:`repro.exec.SimJob` and resolve it
-    through the engine instead; ``# lint: disable=R006`` marks the rare
+    form too) — declare a :class:`repro.exec.SimJob` and resolve it
+    through the engine instead.  In every other ``repro`` source module
+    except the facade (``api.py``) and the simulator's own module, flags
+    ``CNTCache(...)`` construction and calls to the deprecated
+    ``run_workload(...)`` — use :func:`repro.api.make_cache` /
+    :func:`repro.api.simulate`.  ``# lint: disable=R006`` marks the rare
     deliberate exception.
     """
 
     rule_id = "R006"
     summary = (
-        "experiments.py must declare SimJobs via repro.exec, not call "
-        "run_workload()/replay() or construct CNTCache directly"
+        "experiments.py must declare SimJobs via repro.exec, and code "
+        "outside repro.api must not construct CNTCache or call "
+        "run_workload() directly"
     )
 
     def check_module(
@@ -63,8 +85,15 @@ class DirectSimulationRule(LintRule):
 
         if context.config.scope_to_source and not in_repro_source(module):
             return
-        if module.path.name != _TARGET_NAME:
-            return
+        if module.path.name == _TARGET_NAME:
+            yield from self._check_experiments(module)
+        elif in_repro_source(module) and module.path.name not in _FACADE_EXEMPT:
+            yield from self._check_facade(module)
+
+    # -------------------------------------------------------------- #
+    # branch 1: the experiment registry
+    # -------------------------------------------------------------- #
+    def _check_experiments(self, module: "ParsedModule") -> Iterator[Finding]:
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -84,4 +113,29 @@ class DirectSimulationRule(LintRule):
                     f"experiment constructs {_SIMULATOR}(...) directly; "
                     "declare a SimJob and resolve it through the ExecEngine "
                     "(repro.exec) instead of driving the simulator inline",
+                )
+
+    # -------------------------------------------------------------- #
+    # branch 2: everything else must use the facade
+    # -------------------------------------------------------------- #
+    def _check_facade(self, module: "ParsedModule") -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node.func)
+            if name == _SIMULATOR:
+                yield self.finding(
+                    module.display_path,
+                    node.lineno,
+                    f"constructs {_SIMULATOR}(...) directly, bypassing the "
+                    "stable facade; use repro.api.make_cache() so the "
+                    "construction site stays evolvable",
+                )
+            elif name in _FACADE_RUNNERS:
+                yield self.finding(
+                    module.display_path,
+                    node.lineno,
+                    f"calls the deprecated '{name}(...)'; use "
+                    "repro.api.simulate() (or compare_schemes/run_suite "
+                    "with an ExecEngine)",
                 )

@@ -1,0 +1,59 @@
+"""Observability: probes, run manifests and the pipeline profiler.
+
+Three layers, cheapest first:
+
+* :mod:`repro.obs.probe` — process-global counters/timers/events that
+  instrumented code publishes into; **zero cost when disabled** (one
+  flag check), so they live permanently in the hot paths.
+* :mod:`repro.obs.manifest` — JSONL run manifests (one entry per unique
+  job resolution + a batch summary) with a reader, a cross-batch merger
+  and a zero-guarded aggregator.
+* :mod:`repro.obs.profile` — ``cntcache profile``: replay experiments
+  with probes on and render/export the breakdown.
+
+The :class:`Obs` session ties them together and is what every harness
+helper accepts through the uniform ``obs=`` keyword:
+
+    obs = Obs(manifest="run.jsonl")
+    engine = ExecEngine(jobs=4, obs=obs)
+    run_suite(workload_names(), engine=engine)
+    print(obs.summary().to_dict())
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    ManifestError,
+    ManifestSummary,
+    ManifestWriter,
+    merge_manifests,
+    read_manifest,
+    summarize,
+)
+from repro.obs.probe import ObsScope, counter, event, recording, timer
+from repro.obs.profile import (
+    PROFILE_SCHEMA,
+    ProfileError,
+    ProfileReport,
+    profile_experiments,
+)
+from repro.obs.session import Obs
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "PROFILE_SCHEMA",
+    "ManifestError",
+    "ManifestSummary",
+    "ManifestWriter",
+    "Obs",
+    "ObsScope",
+    "ProfileError",
+    "ProfileReport",
+    "counter",
+    "event",
+    "merge_manifests",
+    "profile_experiments",
+    "read_manifest",
+    "recording",
+    "summarize",
+    "timer",
+]

@@ -1,0 +1,339 @@
+"""Run manifests: one JSONL record per resolved job, plus a merger.
+
+A manifest is an append-only JSON-lines file:
+
+* line 1 — a ``header`` entry carrying the manifest schema tag;
+* one ``job`` entry per *unique job resolution* (job hash, config digest,
+  result source, wall time, queue wait, accesses, energy totals and the
+  per-job probe counters/timers that travelled back in the result
+  payload);
+* one ``summary`` entry per engine batch (engine counters, batch wall
+  time, session-level probe totals).
+
+:func:`read_manifest` parses and validates one file;
+:func:`merge_manifests` concatenates several (a batch of runs) and
+:func:`summarize` aggregates any entry stream into a
+:class:`ManifestSummary` — the data behind ``cntcache profile``.  Every
+rate in the summary is zero-guarded: an empty manifest summarizes to
+zeros, never to a ``ZeroDivisionError``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+#: Manifest format tag; bump when entry fields change incompatibly.
+MANIFEST_SCHEMA = "obs-manifest-v1"
+
+
+class ManifestError(ValueError):
+    """Raised on malformed manifest files or entries."""
+
+
+def config_digest(config) -> str | None:
+    """Short content hash of a config (``None`` for config-less jobs)."""
+    if config is None:
+        return None
+    blob = json.dumps(config.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+# ------------------------------------------------------------------ #
+# entry constructors
+# ------------------------------------------------------------------ #
+def header_entry() -> dict:
+    """The mandatory first line of every manifest."""
+    return {"type": "header", "schema": MANIFEST_SCHEMA}
+
+
+def job_entry(job, result, queue_wait_s: float = 0.0) -> dict:
+    """One resolved job, JSON-ready.
+
+    ``job`` is a :class:`repro.exec.SimJob`, ``result`` the matching
+    :class:`repro.exec.ExecResult`; the per-job probe snapshot (if the
+    job ran with probes on) rides along in ``result.obs``.
+    """
+    stats = result.stats
+    obs = result.obs or {}
+    return {
+        "type": "job",
+        "fingerprint": job.fingerprint,
+        "label": job.label,
+        "kind": job.kind,
+        "workload": job.workload,
+        "size": job.size,
+        "seed": job.seed,
+        "scheme": None if job.config is None else job.config.scheme,
+        "config_digest": config_digest(job.config),
+        "source": result.source,
+        "wall_s": result.wall_s,
+        "queue_wait_s": queue_wait_s,
+        "accesses": result.accesses,
+        "energy": None if stats is None else stats.to_dict(),
+        "total_fj": None if stats is None else stats.total_fj,
+        "counters": dict(obs.get("counters", {})),
+        "timers": dict(obs.get("timers", {})),
+        "events": list(obs.get("events", [])),
+    }
+
+
+def summary_entry(engine: dict, wall_s: float, scope=None) -> dict:
+    """One engine batch: counters plus the session scope's probe totals."""
+    snapshot = scope.snapshot() if scope is not None else {}
+    return {
+        "type": "summary",
+        "engine": dict(engine),
+        "wall_s": wall_s,
+        "counters": dict(snapshot.get("counters", {})),
+        "timers": dict(snapshot.get("timers", {})),
+        "dropped_events": snapshot.get("dropped_events", 0),
+    }
+
+
+# ------------------------------------------------------------------ #
+# writer
+# ------------------------------------------------------------------ #
+class ManifestWriter:
+    """Append JSONL entries to a manifest file (header written lazily)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.entries_written = 0
+        self._file = None
+
+    def write(self, entry: dict) -> None:
+        """Append one typed entry (opens the file and emits the header first)."""
+        if not isinstance(entry, dict) or "type" not in entry:
+            raise ManifestError(f"manifest entries need a 'type': {entry!r}")
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self.path.open("w", encoding="utf-8")
+            self._emit(header_entry())
+        self._emit(entry)
+
+    def _emit(self, entry: dict) -> None:
+        assert self._file is not None
+        self._file.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._file.flush()
+        self.entries_written += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "ManifestWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ------------------------------------------------------------------ #
+# reader / merger
+# ------------------------------------------------------------------ #
+def read_manifest(path: str | Path) -> list[dict]:
+    """Parse one manifest; validates the header and every line."""
+    path = Path(path)
+    entries: list[dict] = []
+    with path.open("r", encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError as error:
+                raise ManifestError(
+                    f"{path}:{lineno}: not JSON: {error}"
+                ) from None
+            if not isinstance(entry, dict) or "type" not in entry:
+                raise ManifestError(f"{path}:{lineno}: entry without 'type'")
+            entries.append(entry)
+    if not entries:
+        raise ManifestError(f"{path}: empty manifest")
+    head = entries[0]
+    if head["type"] != "header" or head.get("schema") != MANIFEST_SCHEMA:
+        raise ManifestError(
+            f"{path}: bad header {head!r}; expected schema {MANIFEST_SCHEMA!r}"
+        )
+    return entries
+
+
+def merge_manifests(paths: Iterable[str | Path]) -> list[dict]:
+    """Concatenate several manifests (a batch) into one entry stream."""
+    merged: list[dict] = []
+    for path in paths:
+        merged.extend(read_manifest(path))
+    return merged
+
+
+# ------------------------------------------------------------------ #
+# aggregation
+# ------------------------------------------------------------------ #
+@dataclass
+class ManifestSummary:
+    """Aggregated view of one or more manifests (all rates zero-guarded)."""
+
+    jobs: int = 0
+    accesses: int = 0
+    wall_s: float = 0.0
+    queue_wait_s: float = 0.0
+    total_fj: float = 0.0
+    #: kind -> {"jobs", "wall_s", "accesses"}
+    by_kind: dict = field(default_factory=dict)
+    #: result source ("run"/"cache"/"memo") -> job count
+    by_source: dict = field(default_factory=dict)
+    #: scheme -> {"jobs", "total_fj", "accesses", "fj_per_access"}
+    by_scheme: dict = field(default_factory=dict)
+    #: energy component -> fJ total (over jobs that carried EnergyStats)
+    energy_fj: dict = field(default_factory=dict)
+    #: merged engine counters from summary entries (zeros when absent)
+    engine: dict = field(default_factory=dict)
+    #: aggregated probe counters (job + summary entries)
+    counters: dict = field(default_factory=dict)
+    #: aggregated probe timers, seconds
+    timers: dict = field(default_factory=dict)
+    #: top-N slowest job entries (trimmed)
+    slowest: list = field(default_factory=list)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of resolutions served without simulating (0 if none)."""
+        engine = self.engine
+        resolved = (
+            engine.get("memo_hits", 0)
+            + engine.get("cache_hits", 0)
+            + engine.get("executed", 0)
+        )
+        if resolved:
+            hits = engine.get("memo_hits", 0) + engine.get("cache_hits", 0)
+            return hits / resolved
+        total = sum(self.by_source.values())
+        if not total:
+            return 0.0
+        return (total - self.by_source.get("run", 0)) / total
+
+    @property
+    def accesses_per_s(self) -> float:
+        """Aggregate simulation throughput (0 when no wall time recorded)."""
+        if self.wall_s <= 0:
+            return 0.0
+        return self.accesses / self.wall_s
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump (the ``--json`` trending payload)."""
+        return {
+            "jobs": self.jobs,
+            "accesses": self.accesses,
+            "wall_s": self.wall_s,
+            "queue_wait_s": self.queue_wait_s,
+            "total_fj": self.total_fj,
+            "cache_hit_rate": self.cache_hit_rate,
+            "accesses_per_s": self.accesses_per_s,
+            "by_kind": self.by_kind,
+            "by_source": self.by_source,
+            "by_scheme": self.by_scheme,
+            "energy_fj": self.energy_fj,
+            "engine": self.engine,
+            "counters": self.counters,
+            "timers": self.timers,
+            "slowest": self.slowest,
+        }
+
+
+def _merge_numeric(into: dict, values: dict) -> None:
+    for name, value in values.items():
+        into[name] = into.get(name, 0) + value
+
+
+def summarize(entries: Iterable[dict], top: int = 10) -> ManifestSummary:
+    """Aggregate an entry stream (headers are skipped, order irrelevant).
+
+    Counter/timer totals come from ``summary`` entries when present (the
+    session scope already folds in every job's traffic, so re-adding the
+    per-job copies would double-count); a manifest with job entries only
+    falls back to summing those.
+    """
+    summary = ManifestSummary()
+    job_entries: list[dict] = []
+    job_counters: dict = {}
+    job_timers: dict = {}
+    saw_summary = False
+    for entry in entries:
+        kind = entry.get("type")
+        if kind == "job":
+            job_entries.append(entry)
+        elif kind == "summary":
+            saw_summary = True
+            _merge_numeric(summary.engine, entry.get("engine", {}))
+            _merge_numeric(summary.counters, entry.get("counters", {}))
+            _merge_numeric(summary.timers, entry.get("timers", {}))
+
+    for entry in job_entries:
+        summary.jobs += 1
+        summary.accesses += int(entry.get("accesses", 0))
+        summary.wall_s += float(entry.get("wall_s", 0.0))
+        summary.queue_wait_s += float(entry.get("queue_wait_s", 0.0))
+        _merge_numeric(job_counters, entry.get("counters", {}))
+        _merge_numeric(job_timers, entry.get("timers", {}))
+
+        by_kind = summary.by_kind.setdefault(
+            entry.get("kind", "?"), {"jobs": 0, "wall_s": 0.0, "accesses": 0}
+        )
+        by_kind["jobs"] += 1
+        by_kind["wall_s"] += float(entry.get("wall_s", 0.0))
+        by_kind["accesses"] += int(entry.get("accesses", 0))
+
+        source = entry.get("source", "?")
+        summary.by_source[source] = summary.by_source.get(source, 0) + 1
+
+        energy = entry.get("energy")
+        if energy:
+            components = {
+                name: value
+                for name, value in energy.items()
+                if isinstance(value, (int, float)) and name.endswith("_fj")
+            }
+            _merge_numeric(summary.energy_fj, components)
+            total = float(entry.get("total_fj") or 0.0)
+            # Report-side aggregation of already-metered energy, not a
+            # new energy source.
+            summary.total_fj += total  # lint: disable=R001
+            scheme = entry.get("scheme") or "?"
+            by_scheme = summary.by_scheme.setdefault(
+                scheme, {"jobs": 0, "total_fj": 0.0, "accesses": 0}
+            )
+            by_scheme["jobs"] += 1
+            by_scheme["total_fj"] += total
+            by_scheme["accesses"] += int(entry.get("accesses", 0))
+
+    if not saw_summary:
+        summary.counters = job_counters
+        summary.timers = job_timers
+
+    for by_scheme in summary.by_scheme.values():
+        accesses = by_scheme["accesses"]
+        by_scheme["fj_per_access"] = (
+            by_scheme["total_fj"] / accesses if accesses else 0.0
+        )
+
+    ranked = sorted(
+        job_entries, key=lambda entry: entry.get("wall_s", 0.0), reverse=True
+    )
+    summary.slowest = [
+        {
+            "label": entry.get("label"),
+            "kind": entry.get("kind"),
+            "source": entry.get("source"),
+            "wall_s": entry.get("wall_s", 0.0),
+            "accesses": entry.get("accesses", 0),
+        }
+        for entry in ranked[: max(top, 0)]
+    ]
+    return summary

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs import probe
 from repro.trace.record import Access
 from repro.trace.stats import TraceStats, analyze_trace
 from repro.workloads.mem import TracedMemory
@@ -61,7 +62,16 @@ class Workload:
                 f"unknown size {size!r}; known sizes: {SIZES}"
             )
         mem = TracedMemory()
-        checksum = self.kernel(mem, size, seed)
+        with probe.timer(f"workload.{self.name}.build"):
+            checksum = self.kernel(mem, size, seed)
+        if probe.ENABLED:
+            probe.event(
+                "workload.build",
+                workload=self.name,
+                size=size,
+                seed=seed,
+                accesses=len(mem.trace),
+            )
         return WorkloadRun(
             name=self.name,
             size=size,

@@ -75,6 +75,34 @@ class TestCLI:
         # f3 and f7 request the same 5-scheme matrix: half the plan dedupes.
         assert "planned 150 job(s), 75 unique (75 deduplicated)" in out
 
+    def test_profile_command_renders_tables(self, tmp_path, capsys):
+        manifest = tmp_path / "run.jsonl"
+        args = [
+            "profile", "--experiment", "a5", "--size", "smoke",
+            "--seed", "3", "--manifest", str(manifest), "--top", "3",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "time per job kind" in out
+        assert "exec engine" in out
+        assert f"manifest written to {manifest}" in out
+        assert manifest.exists()
+
+    def test_profile_json_is_machine_readable(self, capsys):
+        import json
+
+        args = ["profile", "--experiment", "a5", "--size", "smoke",
+                "--seed", "3", "--json"]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "obs-profile-v1"
+        assert payload["summary"]["jobs"] > 0
+        assert "cache_hit_rate" in payload["summary"]
+
+    def test_profile_unknown_experiment(self, capsys):
+        assert main(["profile", "--experiment", "zz"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
     def test_selftest_command(self, capsys):
         assert main(["selftest", "--size", "smoke", "--seed", "3"]) == 0
         out = capsys.readouterr().out

@@ -5,10 +5,10 @@ import pytest
 from repro.core.config import CNTCacheConfig
 from repro.harness.oracle import oracle_bound
 from repro.harness.runner import (
+    _run_workload,
     compare_schemes,
     replay,
     run_suite,
-    run_workload,
     savings_table,
 )
 from repro.harness.sweep import sweep_configs, sweep_workload
@@ -21,7 +21,7 @@ class TestReplay:
         assert sim.stats.accesses >= len(run.trace)
 
     def test_run_workload_result_fields(self, tiny_runs):
-        result = run_workload(CNTCacheConfig(), tiny_runs["matmul"])
+        result = _run_workload(CNTCacheConfig(), tiny_runs["matmul"])
         assert result.workload == "matmul"
         assert result.scheme == "cnt"
         assert result.total_fj > 0
@@ -75,7 +75,7 @@ class TestOracleBound:
         config = CNTCacheConfig()
         bound = oracle_bound(config, run.trace, run.preloads)
         for scheme in ("baseline", "static-invert", "invert", "cnt"):
-            stats = run_workload(config.variant(scheme=scheme), run).stats
+            stats = _run_workload(config.variant(scheme=scheme), run).stats
             # Compare on data + peripheral (the oracle carries no metadata).
             achieved = (
                 stats.data_fj + stats.peripheral_fj

@@ -115,6 +115,33 @@ class TestR006:
         config = LintConfig(enabled_rules=frozenset({"R006"}))
         assert lint_paths([src], config) == []
 
+    def test_facade_branch_fires_inside_repro_source(self):
+        findings = findings_for("r006/repro/runner_bypass.py")
+        assert hits(findings) == [
+            ("R006", 13),
+            ("R006", 14),
+        ]
+        messages = " ".join(finding.message for finding in findings)
+        assert "repro.api.make_cache" in messages
+        assert "repro.api.simulate" in messages
+
+    def test_facade_branch_allows_replay_and_disable_comment(self):
+        findings = findings_for("r006/repro/runner_bypass.py")
+        assert all(finding.line not in (20, 24) for finding in findings)
+
+    def test_facade_branch_quiet_outside_repro_source(self):
+        # Same bypass patterns, but no ``repro`` path component: user
+        # scripts and tests may drive the simulator directly.
+        assert findings_for(
+            "r005_hygiene.py", rules=frozenset({"R006"})
+        ) == []
+
+    def test_quiet_on_real_facade_and_simulator_modules(self):
+        root = Path(__file__).resolve().parents[2] / "src" / "repro"
+        config = LintConfig(enabled_rules=frozenset({"R006"}))
+        paths = [root / "api.py", root / "core" / "cntcache.py"]
+        assert lint_paths(paths, config) == []
+
 
 class TestSuppression:
     def test_disable_comment_suppresses_only_its_line(self):

@@ -1,0 +1,192 @@
+"""Manifest writer/reader/merger/summarizer unit tests."""
+
+import json
+
+import pytest
+
+from repro.core.config import CNTCacheConfig
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    ManifestError,
+    ManifestWriter,
+    config_digest,
+    header_entry,
+    merge_manifests,
+    read_manifest,
+    summarize,
+)
+
+
+def job(
+    kind="workload",
+    scheme="cnt",
+    source="run",
+    wall_s=1.0,
+    accesses=100,
+    total_fj=2000.0,
+    counters=None,
+    timers=None,
+):
+    """A synthetic job entry (the shape job_entry() produces)."""
+    return {
+        "type": "job",
+        "fingerprint": "f" * 16,
+        "label": f"{kind}:stream",
+        "kind": kind,
+        "workload": "stream",
+        "size": "tiny",
+        "seed": 3,
+        "scheme": scheme,
+        "config_digest": "c" * 16,
+        "source": source,
+        "wall_s": wall_s,
+        "queue_wait_s": 0.0,
+        "accesses": accesses,
+        "energy": {"data_write_fj": total_fj / 2, "data_read_fj": total_fj / 2},
+        "total_fj": total_fj,
+        "counters": counters or {},
+        "timers": timers or {},
+        "events": [],
+    }
+
+
+class TestConfigDigest:
+    def test_none_for_configless_jobs(self):
+        assert config_digest(None) is None
+
+    def test_deterministic_and_config_sensitive(self):
+        a = config_digest(CNTCacheConfig())
+        b = config_digest(CNTCacheConfig())
+        c = config_digest(CNTCacheConfig(scheme="baseline"))
+        assert a == b
+        assert a != c
+        assert len(a) == 16
+
+
+class TestWriterReader:
+    def test_header_written_lazily_then_entries(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        writer = ManifestWriter(path)
+        assert not path.exists()  # nothing until the first entry
+        writer.write(job())
+        writer.close()
+        entries = read_manifest(path)
+        assert entries[0] == header_entry()
+        assert entries[0]["schema"] == MANIFEST_SCHEMA
+        assert entries[1]["type"] == "job"
+        assert writer.entries_written == 2
+
+    def test_entry_without_type_rejected(self, tmp_path):
+        writer = ManifestWriter(tmp_path / "run.jsonl")
+        with pytest.raises(ManifestError):
+            writer.write({"no": "type"})
+
+    def test_read_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"type": "job"}) + "\n")
+        with pytest.raises(ManifestError):
+            read_manifest(path)
+
+    def test_read_rejects_non_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(header_entry()) + "\nnot json\n")
+        with pytest.raises(ManifestError):
+            read_manifest(path)
+
+    def test_read_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ManifestError):
+            read_manifest(path)
+
+    def test_merge_concatenates(self, tmp_path):
+        paths = []
+        for i in range(2):
+            path = tmp_path / f"run{i}.jsonl"
+            with ManifestWriter(path) as writer:
+                writer.write(job(wall_s=float(i + 1)))
+            paths.append(path)
+        merged = merge_manifests(paths)
+        assert [e["type"] for e in merged] == [
+            "header", "job", "header", "job",
+        ]
+        summary = summarize(merged)
+        assert summary.jobs == 2
+        assert summary.wall_s == pytest.approx(3.0)
+
+
+class TestSummarize:
+    def test_empty_stream_is_all_zeros(self):
+        summary = summarize([])
+        assert summary.jobs == 0
+        assert summary.accesses == 0
+        assert summary.cache_hit_rate == 0.0
+        assert summary.accesses_per_s == 0.0
+        assert summary.by_scheme == {}
+        payload = summary.to_dict()
+        assert payload["cache_hit_rate"] == 0.0
+
+    def test_zero_access_jobs_never_divide(self):
+        summary = summarize([job(accesses=0, wall_s=0.0, total_fj=0.0)])
+        assert summary.jobs == 1
+        assert summary.accesses_per_s == 0.0
+        # total_fj of 0.0 is falsy in job(); force an energy-carrying
+        # entry with zero accesses to hit the fj_per_access guard.
+        summary = summarize([job(accesses=0, total_fj=10.0)])
+        assert summary.by_scheme["cnt"]["fj_per_access"] == 0.0
+
+    def test_aggregates_by_kind_source_scheme(self):
+        entries = [
+            job(kind="workload", scheme="cnt", source="run",
+                wall_s=2.0, accesses=100, total_fj=1000.0),
+            job(kind="workload", scheme="baseline", source="cache",
+                wall_s=1.0, accesses=100, total_fj=2000.0),
+            job(kind="oracle", scheme="cnt", source="run",
+                wall_s=0.5, accesses=50, total_fj=500.0),
+        ]
+        summary = summarize(entries)
+        assert summary.jobs == 3
+        assert summary.by_kind["workload"]["jobs"] == 2
+        assert summary.by_kind["oracle"]["wall_s"] == pytest.approx(0.5)
+        assert summary.by_source == {"run": 2, "cache": 1}
+        assert summary.by_scheme["cnt"]["total_fj"] == pytest.approx(1500.0)
+        assert summary.by_scheme["cnt"]["fj_per_access"] == pytest.approx(10.0)
+        assert summary.total_fj == pytest.approx(3500.0)
+        # No summary entry -> engine counters absent -> source fallback.
+        assert summary.cache_hit_rate == pytest.approx(1 / 3)
+
+    def test_summary_entry_counters_are_canonical(self):
+        # The session scope already folded the per-job traffic, so job
+        # counters must NOT be re-added on top of the summary's.
+        entries = [
+            job(counters={"cache.accesses": 100}),
+            {
+                "type": "summary",
+                "engine": {"memo_hits": 3, "cache_hits": 1, "executed": 1},
+                "wall_s": 1.0,
+                "counters": {"cache.accesses": 100},
+                "timers": {"exec.batch": 1.0},
+                "dropped_events": 0,
+            },
+        ]
+        summary = summarize(entries)
+        assert summary.counters == {"cache.accesses": 100}
+        assert summary.timers == {"exec.batch": 1.0}
+        assert summary.cache_hit_rate == pytest.approx(4 / 5)
+
+    def test_job_counters_are_the_fallback(self):
+        entries = [
+            job(counters={"cache.accesses": 60}, timers={"phase.sim": 0.5}),
+            job(counters={"cache.accesses": 40}),
+        ]
+        summary = summarize(entries)
+        assert summary.counters == {"cache.accesses": 100}
+        assert summary.timers == {"phase.sim": 0.5}
+
+    def test_slowest_is_ranked_and_trimmed(self):
+        entries = [job(wall_s=float(i)) for i in range(5)]
+        summary = summarize(entries, top=3)
+        assert [row["wall_s"] for row in summary.slowest] == [4.0, 3.0, 2.0]
+        assert set(summary.slowest[0]) == {
+            "label", "kind", "source", "wall_s", "accesses",
+        }

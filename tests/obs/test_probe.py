@@ -1,0 +1,151 @@
+"""Unit tests for the probe switchboard: inert off, exact on."""
+
+import pytest
+
+from repro.obs import probe
+from repro.obs.probe import ObsScope
+
+
+@pytest.fixture(autouse=True)
+def clean_switchboard():
+    """Every test starts and ends with the switchboard at rest."""
+    assert probe._SCOPES == []
+    assert probe.ENABLED is False
+    yield
+    assert probe._SCOPES == []
+    assert probe.ENABLED is False
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert probe.ENABLED is False
+
+    def test_probes_are_noops_when_disabled(self):
+        probe.counter("cache.accesses")
+        probe.timing("phase.x", 1.0)
+        probe.event("workload.build", size="tiny")
+        with probe.timer("phase.y"):
+            pass
+        # Nothing anywhere to record into, nothing enabled.
+        assert probe.ENABLED is False
+        assert probe._SCOPES == []
+
+    def test_capture_yields_none_when_disabled(self):
+        with probe.capture() as scope:
+            assert scope is None
+
+    def test_paused_is_noop_when_disabled(self):
+        with probe.paused():
+            assert probe.ENABLED is False
+
+    def test_recording_none_is_noop(self):
+        with probe.recording(None) as scope:
+            assert scope is None
+            assert probe.ENABLED is False
+
+
+class TestRecording:
+    def test_counters_timers_events_land_in_scope(self):
+        scope = ObsScope()
+        with probe.recording(scope):
+            assert probe.ENABLED is True
+            probe.counter("cache.accesses", 3)
+            probe.counter("cache.accesses")
+            probe.timing("phase.sim", 0.25)
+            probe.event("workload.build", workload="stream")
+        assert scope.counters == {"cache.accesses": 4}
+        assert scope.timers == {"phase.sim": 0.25}
+        assert scope.events == [
+            {"name": "workload.build", "workload": "stream"}
+        ]
+
+    def test_timer_accumulates_elapsed_time(self):
+        scope = ObsScope()
+        with probe.recording(scope):
+            with probe.timer("phase.x"):
+                pass
+            with probe.timer("phase.x"):
+                pass
+        assert scope.timers["phase.x"] >= 0.0
+
+    def test_reentrant_recording_of_same_scope_is_single(self):
+        scope = ObsScope()
+        with probe.recording(scope):
+            with probe.recording(scope):
+                probe.counter("cache.hits")
+            # Inner exit must not tear down the outer recording.
+            assert probe.ENABLED is True
+            probe.counter("cache.hits")
+        assert scope.counters == {"cache.hits": 2}
+
+    def test_nested_capture_feeds_both_scopes(self):
+        outer = ObsScope()
+        with probe.recording(outer):
+            with probe.capture() as inner:
+                assert inner is not None
+                probe.counter("codec.dbi.applies")
+            probe.counter("codec.dbi.applies")
+        assert inner.counters == {"codec.dbi.applies": 1}
+        assert outer.counters == {"codec.dbi.applies": 2}
+
+    def test_paused_suppresses_inside_recording(self):
+        scope = ObsScope()
+        with probe.recording(scope):
+            with probe.paused():
+                assert probe.ENABLED is False
+                probe.counter("cache.accesses")
+            assert probe.ENABLED is True
+            probe.counter("cache.accesses")
+        assert scope.counters == {"cache.accesses": 1}
+
+    def test_state_restored_after_exception(self):
+        scope = ObsScope()
+        with pytest.raises(RuntimeError):
+            with probe.recording(scope):
+                raise RuntimeError("boom")
+        assert probe.ENABLED is False
+        assert probe._SCOPES == []
+
+
+class TestTransport:
+    def test_snapshot_roundtrips_through_absorb(self):
+        source = ObsScope()
+        with probe.recording(source):
+            probe.counter("cache.accesses", 7)
+            probe.timing("phase.sim", 0.5)
+            probe.event("workload.build", seed=3)
+        target = ObsScope()
+        target.absorb(source.snapshot())
+        target.absorb(source.snapshot())
+        assert target.counters == {"cache.accesses": 14}
+        assert target.timers == {"phase.sim": 1.0}
+        assert len(target.events) == 2
+        assert target.events[0] == {"name": "workload.build", "seed": 3}
+
+    def test_snapshot_is_a_copy(self):
+        scope = ObsScope()
+        scope.add_count("x")
+        snapshot = scope.snapshot()
+        snapshot["counters"]["x"] = 99
+        assert scope.counters == {"x": 1}
+
+    def test_absorb_free_function_merges_into_active_scopes(self):
+        worker = ObsScope()
+        worker.add_count("cache.hits", 5)
+        scope = ObsScope()
+        with probe.recording(scope):
+            probe.absorb(worker.snapshot())
+        assert scope.counters == {"cache.hits": 5}
+
+    def test_absorb_free_function_noop_when_disabled(self):
+        probe.absorb({"counters": {"cache.hits": 5}})
+        # No active scope: nothing to check beyond "didn't blow up".
+
+    def test_event_cap_counts_overflow(self):
+        scope = ObsScope()
+        for i in range(probe.MAX_EVENTS + 10):
+            scope.add_event("e", {"i": i})
+        assert len(scope.events) == probe.MAX_EVENTS
+        assert scope.dropped_events == 10
+        snapshot = scope.snapshot()
+        assert snapshot["dropped_events"] == 10

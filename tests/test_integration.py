@@ -10,13 +10,13 @@ import pytest
 import repro
 from repro import (
     Access,
-    CNTCache,
     CNTCacheConfig,
     compare_schemes,
     get_workload,
     read_trace,
     write_trace,
 )
+from repro.core import CNTCache
 
 
 class TestPublicAPI:
