@@ -34,6 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.exec import ExecEngine, SimJob
     from repro.harness.runner import RunResult
     from repro.obs import Obs, ProfileReport
+    from repro.resilience import ResilienceConfig
     from repro.workloads.program import WorkloadRun
 
 __all__ = ["make_cache", "make_engine", "plan", "profile", "simulate"]
@@ -64,12 +65,23 @@ def make_engine(
     cache_dir: "str | Path | None" = None,
     progress: Callable[[str], None] | None = None,
     obs: "Obs | None" = None,
+    resilience: "ResilienceConfig | None" = None,
 ) -> "ExecEngine":
-    """An execution engine (see :class:`repro.exec.ExecEngine`)."""
+    """An execution engine (see :class:`repro.exec.ExecEngine`).
+
+    ``resilience`` tunes the fault-tolerance policy (retries, backoff,
+    per-job timeouts, keep-going batches — see
+    :class:`repro.resilience.ResilienceConfig`); ``None`` means the
+    self-healing defaults.
+    """
     from repro.exec import ExecEngine
 
     return ExecEngine(
-        jobs=jobs, cache_dir=cache_dir, progress=progress, obs=obs
+        jobs=jobs,
+        cache_dir=cache_dir,
+        progress=progress,
+        obs=obs,
+        resilience=resilience,
     )
 
 
@@ -137,6 +149,7 @@ def profile(
     manifest: "str | Path | None" = None,
     top: int = 10,
     progress: Callable[[str], None] | None = None,
+    resilience: "ResilienceConfig | None" = None,
 ) -> "ProfileReport":
     """Replay experiments with probes on; returns the breakdown report."""
     from repro.obs.profile import profile_experiments
@@ -150,4 +163,5 @@ def profile(
         manifest=manifest,
         top=top,
         progress=progress,
+        resilience=resilience,
     )

@@ -4,8 +4,11 @@ Experiments *declare* the simulations they need as frozen, content-hashed
 :class:`SimJob` values; a :class:`~repro.exec.planner.Planner` dedupes
 them and an :class:`ExecEngine` resolves them — via in-memory memo, the
 content-addressed on-disk cache, or actual (optionally multi-process)
-execution.  See docs/EXECUTION.md for the job model, hash scheme, cache
-layout and invalidation rules.
+execution.  Execution is self-healing: transient failures retry with
+backoff, broken pools rebuild (then degrade to serial), and keep-going
+batches collect structured :class:`FailureRecord` results — see
+:mod:`repro.resilience` and docs/RESILIENCE.md.  See docs/EXECUTION.md
+for the job model, hash scheme, cache layout and invalidation rules.
 """
 
 from repro.exec.engine import (
@@ -30,6 +33,13 @@ from repro.exec.job import (
 from repro.exec.planner import Plan, Planner, plan_jobs
 from repro.exec.result import ExecResult, ResultError
 from repro.exec.worker import execute_job, execute_payload
+from repro.resilience import (
+    FailureRecord,
+    JobFailure,
+    PermanentJobFailure,
+    ResilienceConfig,
+    TransientJobFailure,
+)
 
 __all__ = [
     "ENGINE_SCHEMA",
@@ -38,11 +48,16 @@ __all__ = [
     "EngineError",
     "ExecEngine",
     "ExecResult",
+    "FailureRecord",
     "JobError",
+    "JobFailure",
+    "PermanentJobFailure",
     "Plan",
     "Planner",
+    "ResilienceConfig",
     "ResultError",
     "SimJob",
+    "TransientJobFailure",
     "audit_job",
     "code_fingerprint",
     "execute_job",

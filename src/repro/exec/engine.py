@@ -29,9 +29,11 @@ Cache layout (``cache_dir``)::
     <cache_dir>/<fp[:2]>/<fp>.json    one JSON document per result:
         {"schema": ..., "fingerprint": ..., "job": {...}, "payload": {...}}
 
-A cache file is used only if its schema tag and fingerprint match; any
-mismatch or parse error is treated as a miss (and overwritten), never an
-error.  Because the fingerprint folds in a hash of all simulation source
+A cache file is used only if its schema tag and fingerprint match; a
+mismatch is treated as a miss (and overwritten), and an unparseable file
+is quarantined to ``<fingerprint>.corrupt`` (counted in
+``exec.cache_corrupt``) — never an error.  Because the fingerprint folds
+in a hash of all simulation source
 (see :func:`repro.exec.job.code_fingerprint`), editing simulator code
 invalidates stale entries automatically.
 """
@@ -43,19 +45,35 @@ import os
 import time
 from collections.abc import Callable, Iterable, Mapping
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import faults
 from repro.exec.job import ENGINE_SCHEMA, SimJob
 from repro.exec.planner import plan_jobs
 from repro.exec.result import ExecResult
 from repro.exec.worker import execute_job, execute_payload
 from repro.obs import probe
+from repro.resilience import (
+    FailureRecord,
+    ResilienceConfig,
+    backoff_delay,
+    classify_transient,
+    failure_for,
+)
 
 
 class EngineError(RuntimeError):
     """Raised on invalid engine configuration or use."""
+
+
+#: Orphaned ``*.tmp.<pid>`` cache files older than this are swept on
+#: engine startup (crashed writers leave them behind); younger ones may
+#: belong to a live concurrent run sharing the cache directory.
+STALE_TMP_TTL_S = 3600.0
 
 
 @dataclass
@@ -67,6 +85,14 @@ class EngineCounters:
     memo_hits: int = 0
     cache_hits: int = 0
     executed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    serial_fallbacks: int = 0
+    failures: int = 0
+    cache_corrupt: int = 0
+    cache_write_errors: int = 0
+    tmp_swept: int = 0
 
     @property
     def resolved(self) -> int:
@@ -91,15 +117,38 @@ class EngineCounters:
             "executed": self.executed,
             "resolved": self.resolved,
             "cache_hit_rate": self.cache_hit_rate,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "serial_fallbacks": self.serial_fallbacks,
+            "failures": self.failures,
+            "cache_corrupt": self.cache_corrupt,
+            "cache_write_errors": self.cache_write_errors,
+            "tmp_swept": self.tmp_swept,
         }
 
     def describe(self) -> str:
         """One-line summary for logs and the CLI."""
-        return (
+        text = (
             f"{self.requested} requested, {self.unique} unique, "
             f"{self.memo_hits} memo hit(s), {self.cache_hits} cache "
             f"hit(s), {self.executed} simulated"
         )
+        extras = [
+            f"{value} {name}"
+            for name, value in (
+                ("retried", self.retries),
+                ("timed out", self.timeouts),
+                ("pool rebuild(s)", self.pool_rebuilds),
+                ("serial fallback(s)", self.serial_fallbacks),
+                ("failed", self.failures),
+                ("corrupt cache entr(ies)", self.cache_corrupt),
+            )
+            if value
+        ]
+        if extras:
+            text += ", " + ", ".join(extras)
+        return text
 
 
 class ExecEngine:
@@ -111,18 +160,33 @@ class ExecEngine:
         cache_dir: str | Path | None = None,
         progress: Callable[[str], None] | None = None,
         obs=None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
             raise EngineError(f"jobs must be a positive int, got {jobs!r}")
+        if resilience is None:
+            resilience = ResilienceConfig()
+        elif not isinstance(resilience, ResilienceConfig):
+            raise EngineError(
+                f"resilience must be a ResilienceConfig, got {resilience!r}"
+            )
         self.jobs = jobs
         self.cache_dir = None if cache_dir is None else Path(cache_dir)
         self.progress = progress
         #: Optional :class:`repro.obs.Obs` session; when set, probes are
         #: enabled around every batch and manifests are emitted into it.
         self.obs = obs
+        #: Fault-tolerance policy (see :mod:`repro.resilience`).
+        self.resilience = resilience
         self.counters = EngineCounters()
+        #: Every :class:`FailureRecord` this engine collected (keep-going).
+        self.failures: list[FailureRecord] = []
         #: fingerprint -> resolved result (the cross-batch memo).
         self._memo: dict[str, ExecResult] = {}
+        #: fingerprint -> failed placeholder, valid for the current batch
+        #: only — a later batch gets a fresh shot at the job.
+        self._failed: dict[str, ExecResult] = {}
+        self._sweep_stale_tmps()
 
     # ------------------------------------------------------------------ #
     # public API
@@ -141,7 +205,15 @@ class ExecEngine:
             self.obs = previous
 
     def run_jobs(self, jobs: Iterable[SimJob]) -> list[ExecResult]:
-        """Resolve a batch; returns results aligned with the input order."""
+        """Resolve a batch; returns results aligned with the input order.
+
+        Transient job failures (crashed workers, broken pools, timeouts)
+        are retried per :attr:`resilience`; a job that exhausts its
+        attempts raises :class:`~repro.resilience.JobFailure` — or, with
+        ``keep_going``, resolves to a failed placeholder
+        (``result.ok is False``, ``result.failure`` carries the record)
+        while the rest of the batch completes normally.
+        """
         ordered = list(jobs)
         with probe.recording(self.obs):
             with probe.timer("exec.batch"):
@@ -151,6 +223,7 @@ class ExecEngine:
         plan = plan_jobs(ordered)
         self.counters.requested += len(plan.requested)
         probe.counter("exec.requested", len(plan.requested))
+        self._failed.clear()
 
         pending: list[SimJob] = []
         for job in plan.unique:
@@ -172,7 +245,11 @@ class ExecEngine:
                 pending.append(job)
 
         self._execute(pending)
-        return [self._memo[job.fingerprint] for job in ordered]
+        return [
+            self._memo.get(job.fingerprint)
+            or self._failed[job.fingerprint]
+            for job in ordered
+        ]
 
     def run_map(self, jobs: Mapping) -> dict:
         """Resolve a ``{key: SimJob}`` mapping into ``{key: ExecResult}``.
@@ -202,34 +279,185 @@ class ExecEngine:
         if not pending:
             return
         if self.jobs > 1 and len(pending) > 1:
-            workers = min(self.jobs, len(pending))
-            # Force-enable probes in the workers iff they are on here;
-            # per-job captures come back inside the result payloads.
-            initializer = probe.enable_in_worker if probe.ENABLED else None
-            done_at: dict[int, float] = {}
-            with ProcessPoolExecutor(
-                max_workers=workers, initializer=initializer
-            ) as pool:
+            self._execute_pool(pending)
+        else:
+            self._execute_serial(pending)
+
+    def _execute_serial(self, pending: list[SimJob]) -> None:
+        """In-process execution with bounded retries on transient errors."""
+        config = self.resilience
+        for job in pending:
+            attempt = 0
+            while True:
+                try:
+                    result = execute_job(job, attempt=attempt)
+                # Sanctioned broad catch: every error is classified and
+                # either retried or surfaced as a structured failure.
+                except Exception as error:  # lint: disable=R007
+                    if self._should_retry(job, attempt, error):
+                        attempt += 1
+                        time.sleep(
+                            backoff_delay(config, job.fingerprint, attempt)
+                        )
+                        continue
+                    self._fail(job, error, attempt + 1)
+                    break
+                self._store(job, result)
+                break
+
+    def _execute_pool(self, pending: list[SimJob]) -> None:
+        """Worker-pool execution: retries, timeouts, rebuilds, fallback.
+
+        Jobs run in rounds.  A round submits everything still unresolved
+        and harvests results in submission order; a failure classified
+        transient re-queues its job for the next round (up to
+        ``max_retries``).  A timeout or a ``BrokenProcessPool``
+        *condemns* the pool — finished futures are still harvested, the
+        rest re-queue, and the pool is rebuilt (``pool_rebuilds`` times)
+        before the engine degrades to serial in-process execution for
+        whatever remains.
+        """
+        config = self.resilience
+        workers = min(self.jobs, len(pending))
+        # Force-enable probes in the workers iff they are on here;
+        # per-job captures come back inside the result payloads.
+        initializer = probe.enable_in_worker if probe.ENABLED else None
+        attempts: dict[str, int] = {job.fingerprint: 0 for job in pending}
+        remaining = list(pending)
+        rebuilds_left = config.pool_rebuilds
+        pool = ProcessPoolExecutor(max_workers=workers, initializer=initializer)
+        try:
+            while remaining:
+                batch, remaining = remaining, []
+                condemned = False
+                done_at: dict[int, float] = {}
                 queued_at = time.perf_counter()
-                futures = [pool.submit(execute_payload, job) for job in pending]
+                futures = [
+                    pool.submit(execute_payload, job, attempts[job.fingerprint])
+                    for job in batch
+                ]
                 for future in futures:
                     future.add_done_callback(
                         lambda f, d=done_at: d.setdefault(
                             id(f), time.perf_counter()
                         )
                     )
-                for job, future in zip(pending, futures):
-                    result = ExecResult.from_payload(job, future.result(), "run")
+                for job, future in zip(batch, futures):
+                    if condemned and not future.done():
+                        # The pool is already condemned; don't wait on it.
+                        future.cancel()
+                        remaining.append(job)
+                        continue
+                    try:
+                        payload = future.result(timeout=config.job_timeout_s)
+                    except FuturesTimeoutError:
+                        condemned = True
+                        self.counters.timeouts += 1
+                        probe.counter("exec.timeouts")
+                        self._retry_or_fail(
+                            job,
+                            attempts,
+                            remaining,
+                            TimeoutError(
+                                f"{job.label} exceeded the "
+                                f"{config.job_timeout_s}s job timeout"
+                            ),
+                        )
+                        continue
+                    except BrokenProcessPool as error:
+                        condemned = True
+                        self._retry_or_fail(job, attempts, remaining, error)
+                        continue
+                    # Sanctioned broad catch: a worker raised a real job
+                    # error — classify it, retry or record, never swallow.
+                    except Exception as error:  # lint: disable=R007
+                        self._retry_or_fail(job, attempts, remaining, error)
+                        continue
+                    result = ExecResult.from_payload(job, payload, "run")
                     finished = done_at.get(id(future), time.perf_counter())
                     # Turnaround minus worker wall time approximates the
                     # time the job sat waiting for a worker slot.
-                    queue_wait = max(0.0, finished - queued_at - result.wall_s)
+                    queue_wait = max(
+                        0.0, finished - queued_at - result.wall_s
+                    )
                     self._store(
                         job, result, queue_wait_s=queue_wait, absorb=True
                     )
+                if condemned:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    if remaining and rebuilds_left > 0:
+                        rebuilds_left -= 1
+                        self.counters.pool_rebuilds += 1
+                        probe.counter("exec.pool_rebuilds")
+                        pool = ProcessPoolExecutor(
+                            max_workers=workers, initializer=initializer
+                        )
+                    elif remaining:
+                        self.counters.serial_fallbacks += 1
+                        probe.counter("exec.serial_fallbacks")
+                        self._execute_serial(remaining)
+                        remaining = []
+                elif remaining:
+                    # Pure retries (no pool break): back off before the
+                    # next round, by the slowest job's ladder.
+                    time.sleep(
+                        max(
+                            backoff_delay(
+                                config,
+                                job.fingerprint,
+                                attempts[job.fingerprint],
+                            )
+                            for job in remaining
+                        )
+                    )
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _should_retry(
+        self, job: SimJob, attempt: int, error: BaseException
+    ) -> bool:
+        """Classify ``error``; count and announce the retry if granted."""
+        if (
+            not classify_transient(error)
+            or attempt >= self.resilience.max_retries
+        ):
+            return False
+        self.counters.retries += 1
+        probe.counter("exec.retries")
+        if self.progress is not None:
+            self.progress(
+                f"[exec] retry {attempt + 1}/{self.resilience.max_retries} "
+                f"{job.label}: {type(error).__name__}: {error}"
+            )
+        return True
+
+    def _retry_or_fail(
+        self,
+        job: SimJob,
+        attempts: dict[str, int],
+        remaining: list[SimJob],
+        error: BaseException,
+    ) -> None:
+        """Pool-path outcome of one failed attempt: re-queue or record."""
+        if self._should_retry(job, attempts[job.fingerprint], error):
+            attempts[job.fingerprint] += 1
+            remaining.append(job)
         else:
-            for job in pending:
-                self._store(job, execute_job(job))
+            self._fail(job, error, attempts[job.fingerprint] + 1)
+
+    def _fail(self, job: SimJob, error: BaseException, attempts: int) -> None:
+        """A job exhausted its attempts: record it, or raise (fail-fast)."""
+        record = FailureRecord.from_error(job, error, attempts)
+        self.counters.failures += 1
+        probe.counter("exec.failures")
+        if self.obs is not None:
+            self.obs.record_failure(record)
+        if not self.resilience.keep_going:
+            raise failure_for(record) from error
+        self.failures.append(record)
+        placeholder = ExecResult.failed(job, record)
+        self._failed[job.fingerprint] = placeholder
+        self._emit(job, placeholder)
 
     def _store(
         self,
@@ -268,15 +496,38 @@ class ExecEngine:
         if path is None or not path.is_file():
             return None
         try:
-            document = json.loads(path.read_text(encoding="utf-8"))
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None  # unreadable: a miss, never an error
+        try:
+            document = json.loads(text)
             if (
                 document.get("schema") != ENGINE_SCHEMA
                 or document.get("fingerprint") != job.fingerprint
             ):
+                # A valid document from another schema/code version: a
+                # plain miss, overwritten by the fresh result.
                 return None
             return ExecResult.from_payload(job, document["payload"], "cache")
-        except (OSError, ValueError, KeyError):
-            return None  # corrupt or foreign entry: a miss, never an error
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            return None
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an unparseable cache file aside as ``<name>.corrupt``.
+
+        Quarantining instead of silently overwriting keeps the evidence
+        (torn write? disk fault? foreign writer?) while still treating
+        the entry as a miss.
+        """
+        self.counters.cache_corrupt += 1
+        probe.counter("exec.cache_corrupt")
+        if self.progress is not None:
+            self.progress(f"[exec] quarantined corrupt cache entry {path.name}")
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:  # lint: disable=R007
+            pass  # racing reader already moved or removed it
 
     def _cache_write(self, job: SimJob, result: ExecResult) -> None:
         path = self._cache_path(job)
@@ -288,10 +539,47 @@ class ExecEngine:
             "job": job.describe(),
             "payload": result.payload(),
         }
-        path.parent.mkdir(parents=True, exist_ok=True)
+        data = faults.mangle_cache_write(
+            job.fingerprint, json.dumps(document, sort_keys=True)
+        )
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
-        os.replace(tmp, path)  # atomic: concurrent runs can share a cache
+        try:
+            faults.maybe_cache_write_error(job.fingerprint)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(data, encoding="utf-8")
+            os.replace(tmp, path)  # atomic: concurrent runs share a cache
+        except OSError as error:
+            # The cache is an accelerator, not a correctness dependency:
+            # a failed write must never fail the batch.  Clean our tmp so
+            # a flaky disk cannot litter the cache directory.
+            self.counters.cache_write_errors += 1
+            probe.counter("exec.cache_write_errors")
+            if self.progress is not None:
+                self.progress(
+                    f"[exec] cache write failed for {job.label}: {error}"
+                )
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:  # lint: disable=R007
+                pass  # best-effort cleanup on an already-failing disk
+
+    def _sweep_stale_tmps(self) -> None:
+        """Remove orphaned ``*.tmp.<pid>`` files a crashed writer left.
+
+        Only files older than :data:`STALE_TMP_TTL_S` are removed — a
+        younger tmp may belong to a live run sharing this cache
+        directory.
+        """
+        if self.cache_dir is None or not self.cache_dir.is_dir():
+            return
+        cutoff = time.time() - STALE_TMP_TTL_S
+        for tmp in self.cache_dir.glob("*/*.tmp.*"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+                    self.counters.tmp_swept += 1
+            except OSError:  # lint: disable=R007
+                pass  # vanished mid-sweep (concurrent engine): fine
 
     # ------------------------------------------------------------------ #
     # observability

@@ -14,6 +14,7 @@ import json
 
 from repro.core.stats import EnergyStats
 from repro.exec.job import SimJob
+from repro.resilience import FailureRecord
 
 
 class ResultError(ValueError):
@@ -21,7 +22,10 @@ class ResultError(ValueError):
 
 
 #: Where a result came from (observability only — never hashed).
-SOURCES = ("run", "memo", "cache")
+#: ``failed`` marks a keep-going placeholder: the job exhausted its
+#: attempts and carries a :class:`~repro.resilience.FailureRecord`
+#: instead of a measurement.
+SOURCES = ("run", "memo", "cache", "failed")
 
 
 @dataclass
@@ -44,6 +48,11 @@ class ExecResult:
         :func:`repro.obs.probe.capture` while the job ran) — ``{}`` when
         the job ran with probes disabled.  Like ``wall_s``/``source`` it
         is transport-only observability, excluded from :meth:`canonical`.
+    ``failure``
+        ``None`` for real measurements; the structured
+        :class:`~repro.resilience.FailureRecord` of a job that exhausted
+        its attempts in a keep-going batch (``source == "failed"``,
+        ``stats is None``, empty ``values``).
     """
 
     job: SimJob
@@ -52,10 +61,21 @@ class ExecResult:
     wall_s: float = 0.0
     source: str = "run"
     obs: dict = field(default_factory=dict)
+    failure: FailureRecord | None = None
+
+    @classmethod
+    def failed(cls, job: SimJob, record: FailureRecord) -> "ExecResult":
+        """The keep-going placeholder for a job that could not resolve."""
+        return cls(job=job, source="failed", failure=record)
 
     # ------------------------------------------------------------------ #
     # observability
     # ------------------------------------------------------------------ #
+    @property
+    def ok(self) -> bool:
+        """True for real measurements, False for failed placeholders."""
+        return self.failure is None
+
     @property
     def accesses(self) -> int:
         """Demand accesses simulated (0 when the job metered none)."""
@@ -79,8 +99,13 @@ class ExecResult:
 
         This is both the worker -> parent transport format and the on-disk
         cache format, so every execution mode funnels through the same
-        (lossless) serialization.
+        (lossless) serialization.  Failed placeholders are not
+        measurements and must never enter either channel.
         """
+        if self.failure is not None:
+            raise ResultError(
+                f"failed results are not serializable: {self.failure.label}"
+            )
         return {
             "stats": None if self.stats is None else self.stats.to_dict(),
             "values": dict(self.values),

@@ -19,6 +19,7 @@ import hashlib
 import time
 from collections.abc import Iterable
 
+from repro import faults
 from repro.exec.job import SimJob
 from repro.exec.result import ExecResult
 from repro.obs import probe
@@ -170,13 +171,16 @@ _DISPATCH = {
 }
 
 
-def execute_job(job: SimJob) -> ExecResult:
+def execute_job(job: SimJob, attempt: int = 0) -> ExecResult:
     """Run one job in this process; wall time is measured around the kind.
 
     With probes enabled, the job runs inside a nested capture scope and
     the snapshot rides home on :attr:`ExecResult.obs` — the payload-dict
-    transport that makes per-job counters process-safe.
+    transport that makes per-job counters process-safe.  ``attempt`` is
+    the engine's retry index; it only feeds the fault-injection hook
+    (:mod:`repro.faults`), never the measurement.
     """
+    faults.on_job_start(job.fingerprint, attempt)
     started = time.perf_counter()
     with probe.capture() as scope:
         with probe.timer(f"phase.{job.kind}"):
@@ -187,11 +191,11 @@ def execute_job(job: SimJob) -> ExecResult:
     return result
 
 
-def execute_payload(job: SimJob) -> dict:
+def execute_payload(job: SimJob, attempt: int = 0) -> dict:
     """Pool entry point: run a job, return its serialized payload.
 
     Returning the payload (not the :class:`ExecResult`) forces every
     parallel result through the same lossless serialization as the disk
     cache, so parallel and serial runs cannot diverge silently.
     """
-    return execute_job(job).payload()
+    return execute_job(job, attempt=attempt).payload()

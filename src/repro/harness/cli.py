@@ -27,7 +27,13 @@ import sys
 import time
 from pathlib import Path
 
-from repro.exec import ExecEngine, plan_jobs, run_selftest
+from repro.exec import (
+    ExecEngine,
+    JobFailure,
+    ResilienceConfig,
+    plan_jobs,
+    run_selftest,
+)
 from repro.harness.experiments import (
     EXPERIMENT_PLANS,
     EXPERIMENTS,
@@ -119,6 +125,40 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-job progress (source, wall time, accesses/s)",
     )
+    resilience = parser.add_argument_group("resilience")
+    resilience.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries granted to transiently-failing jobs (default: 2)",
+    )
+    resilience.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-job wall-clock budget in the worker pool "
+            "(default: wait forever)"
+        ),
+    )
+    batch = resilience.add_mutually_exclusive_group()
+    batch.add_argument(
+        "--keep-going",
+        action="store_true",
+        dest="keep_going",
+        help=(
+            "complete the batch past failed jobs; report failures and "
+            "exit 1 instead of aborting at the first one"
+        ),
+    )
+    batch.add_argument(
+        "--fail-fast",
+        action="store_false",
+        dest="keep_going",
+        help="abort at the first exhausted job (default)",
+    )
     profiling = parser.add_argument_group("profile command")
     profiling.add_argument(
         "--experiment",
@@ -148,10 +188,22 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resilience_from(args: argparse.Namespace) -> ResilienceConfig:
+    """The fault-tolerance policy the CLI flags describe (may raise)."""
+    return ResilienceConfig(
+        max_retries=args.max_retries,
+        job_timeout_s=args.job_timeout,
+        keep_going=args.keep_going,
+    )
+
+
 def _engine_from(args: argparse.Namespace) -> ExecEngine:
     progress = (lambda line: print(line, flush=True)) if args.progress else None
     return ExecEngine(
-        jobs=args.jobs, cache_dir=args.cache_dir, progress=progress
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        progress=progress,
+        resilience=_resilience_from(args),
     )
 
 
@@ -167,6 +219,11 @@ def main(argv: list[str] | None = None) -> int:
     size = SIZE_ALIASES.get(args.size, args.size)
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        resilience = _resilience_from(args)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
         return 2
 
     if args.experiment == "list":
@@ -209,10 +266,14 @@ def main(argv: list[str] | None = None) -> int:
                 manifest=args.manifest,
                 top=args.top,
                 progress=progress,
+                resilience=resilience,
             )
         except ProfileError as error:
             print(str(error), file=sys.stderr)
             return 2
+        except JobFailure as error:
+            print(f"job failed: {error}", file=sys.stderr)
+            return 1
         if args.json:
             print(json_module.dumps(report.to_dict(), sort_keys=True))
         else:
@@ -222,9 +283,16 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.experiment == "report":
-        path = write_report(
-            args.output, size=size, seed=args.seed, engine=_engine_from(args)
-        )
+        try:
+            path = write_report(
+                args.output,
+                size=size,
+                seed=args.seed,
+                engine=_engine_from(args),
+            )
+        except JobFailure as error:
+            print(f"job failed: {error}", file=sys.stderr)
+            return 1
         print(f"report written to {path}")
         return 0
 
@@ -237,25 +305,41 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     engine = _engine_from(args)
-    if len(ids) > 1:
-        # Union every experiment's declared jobs, dedupe, resolve up front:
-        # rendering then never simulates (every lookup is a memo hit).
-        union = []
-        for experiment_id in ids:
-            plan = EXPERIMENT_PLANS.get(experiment_id)
-            if plan is not None:
-                union.extend(plan(size, args.seed).values())
-        print(plan_jobs(union).describe(), flush=True)
-        engine.run_jobs(union)
+    try:
+        if len(ids) > 1 or resilience.keep_going:
+            # Union every experiment's declared jobs, dedupe, resolve up
+            # front: rendering then never simulates (every lookup is a
+            # memo hit).  Keep-going always pre-resolves, even a single
+            # experiment, so failures surface here rather than inside
+            # the experiment's table math.
+            union = []
+            for experiment_id in ids:
+                plan = EXPERIMENT_PLANS.get(experiment_id)
+                if plan is not None:
+                    union.extend(plan(size, args.seed).values())
+            print(plan_jobs(union).describe(), flush=True)
+            engine.run_jobs(union)
 
-    for experiment_id in ids:
-        started = time.time()
-        result = run_experiment(
-            experiment_id, size=size, seed=args.seed, engine=engine
-        )
-        print(result.render())
-        print(f"  ({time.time() - started:.1f}s)")
-        print()
+        if engine.failures:
+            # Keep-going collected structured failures: the batch ran to
+            # completion, but the tables would be built on holes —
+            # report and bail instead of rendering nonsense.
+            for record in engine.failures:
+                print(f"FAILED {record.describe()}", file=sys.stderr)
+            print(engine.summary())
+            return 1
+
+        for experiment_id in ids:
+            started = time.time()
+            result = run_experiment(
+                experiment_id, size=size, seed=args.seed, engine=engine
+            )
+            print(result.render())
+            print(f"  ({time.time() - started:.1f}s)")
+            print()
+    except JobFailure as error:
+        print(f"job failed: {error}", file=sys.stderr)
+        return 1
     if args.progress or args.cache_dir or args.jobs > 1:
         print(engine.summary())
     return 0

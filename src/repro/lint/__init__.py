@@ -3,9 +3,10 @@
 Three layers (see docs/STATIC_ANALYSIS.md):
 
 * an AST rule engine (:mod:`repro.lint.engine`) running the project
-  rules R001-R005 of :mod:`repro.lint.rules` — energy-accounting
+  rules R001-R007 of :mod:`repro.lint.rules` — energy-accounting
   discipline, calibration-constant placement, codec registry coverage,
-  config-validation coverage and general hygiene;
+  config-validation coverage, general hygiene, execution discipline and
+  error-swallowing discipline;
 * a physics-invariant checker (:mod:`repro.lint.invariants`) that
   statically evaluates every shipped :class:`~repro.cnfet.energy.
   BitEnergyModel` over all process corners and the Vdd sweep range

@@ -10,6 +10,7 @@ from repro.lint.rules.energy import EnergyAccumulationRule, EnergyLiteralRule
 from repro.lint.rules.execution import DirectSimulationRule
 from repro.lint.rules.exports import CodecRegistrationRule
 from repro.lint.rules.hygiene import HygieneRule
+from repro.lint.rules.resilience import ErrorSwallowRule
 
 #: Every registered rule, keyed by id.
 RULES: dict[str, LintRule] = {
@@ -21,6 +22,7 @@ RULES: dict[str, LintRule] = {
         ConfigValidationRule(),
         HygieneRule(),
         DirectSimulationRule(),
+        ErrorSwallowRule(),
     )
 }
 
@@ -40,5 +42,6 @@ __all__ = [
     "CodecRegistrationRule",
     "ConfigValidationRule",
     "DirectSimulationRule",
+    "ErrorSwallowRule",
     "HygieneRule",
 ]

@@ -7,6 +7,8 @@ A manifest is an append-only JSON-lines file:
   result source, wall time, queue wait, accesses, energy totals and the
   per-job probe counters/timers that travelled back in the result
   payload);
+* one ``failure`` entry per job that exhausted its attempts (the
+  :class:`repro.resilience.FailureRecord` fields);
 * one ``summary`` entry per engine batch (engine counters, batch wall
   time, session-level probe totals).
 
@@ -25,6 +27,8 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
+
+from repro import faults
 
 #: Manifest format tag; bump when entry fields change incompatibly.
 MANIFEST_SCHEMA = "obs-manifest-v1"
@@ -81,6 +85,11 @@ def job_entry(job, result, queue_wait_s: float = 0.0) -> dict:
     }
 
 
+def failure_entry(record) -> dict:
+    """One exhausted job (a :class:`repro.resilience.FailureRecord`)."""
+    return {"type": "failure", **record.to_dict()}
+
+
 def summary_entry(engine: dict, wall_s: float, scope=None) -> dict:
     """One engine batch: counters plus the session scope's probe totals."""
     snapshot = scope.snapshot() if scope is not None else {}
@@ -113,6 +122,12 @@ class ManifestWriter:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._file = self.path.open("w", encoding="utf-8")
             self._emit(header_entry())
+        poison = faults.poison_manifest_line(
+            f"{self.path.name}:{self.entries_written}"
+        )
+        if poison is not None:
+            assert self._file is not None
+            self._file.write(poison + "\n")
         self._emit(entry)
 
     def _emit(self, entry: dict) -> None:
@@ -137,8 +152,18 @@ class ManifestWriter:
 # ------------------------------------------------------------------ #
 # reader / merger
 # ------------------------------------------------------------------ #
-def read_manifest(path: str | Path) -> list[dict]:
-    """Parse one manifest; validates the header and every line."""
+def read_manifest(path: str | Path, on_error: str = "raise") -> list[dict]:
+    """Parse one manifest; validates the header and every line.
+
+    ``on_error`` selects the policy for malformed *lines* (torn writes,
+    poisoned entries): ``"raise"`` (the default) raises
+    :class:`ManifestError` at the first bad line; ``"skip"`` drops bad
+    lines and keeps the parseable rest — what ``cntcache profile`` uses,
+    so one corrupt line cannot blank a whole run's telemetry.  A bad
+    header is fatal under both policies.
+    """
+    if on_error not in ("raise", "skip"):
+        raise ManifestError(f"on_error must be 'raise' or 'skip': {on_error!r}")
     path = Path(path)
     entries: list[dict] = []
     with path.open("r", encoding="utf-8") as stream:
@@ -149,10 +174,14 @@ def read_manifest(path: str | Path) -> list[dict]:
             try:
                 entry = json.loads(line)
             except ValueError as error:
+                if on_error == "skip":
+                    continue
                 raise ManifestError(
                     f"{path}:{lineno}: not JSON: {error}"
                 ) from None
             if not isinstance(entry, dict) or "type" not in entry:
+                if on_error == "skip":
+                    continue
                 raise ManifestError(f"{path}:{lineno}: entry without 'type'")
             entries.append(entry)
     if not entries:
@@ -165,11 +194,13 @@ def read_manifest(path: str | Path) -> list[dict]:
     return entries
 
 
-def merge_manifests(paths: Iterable[str | Path]) -> list[dict]:
+def merge_manifests(
+    paths: Iterable[str | Path], on_error: str = "raise"
+) -> list[dict]:
     """Concatenate several manifests (a batch) into one entry stream."""
     merged: list[dict] = []
     for path in paths:
-        merged.extend(read_manifest(path))
+        merged.extend(read_manifest(path, on_error=on_error))
     return merged
 
 
@@ -201,6 +232,10 @@ class ManifestSummary:
     timers: dict = field(default_factory=dict)
     #: top-N slowest job entries (trimmed)
     slowest: list = field(default_factory=list)
+    #: jobs that exhausted their attempts (``failure`` entries)
+    failures: int = 0
+    #: trimmed failure records (label, error, attempts, transient)
+    failed: list = field(default_factory=list)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -244,6 +279,8 @@ class ManifestSummary:
             "counters": self.counters,
             "timers": self.timers,
             "slowest": self.slowest,
+            "failures": self.failures,
+            "failed": self.failed,
         }
 
 
@@ -274,6 +311,18 @@ def summarize(entries: Iterable[dict], top: int = 10) -> ManifestSummary:
             _merge_numeric(summary.engine, entry.get("engine", {}))
             _merge_numeric(summary.counters, entry.get("counters", {}))
             _merge_numeric(summary.timers, entry.get("timers", {}))
+        elif kind == "failure":
+            summary.failures += 1
+            if len(summary.failed) < max(top, 0):
+                summary.failed.append(
+                    {
+                        "label": entry.get("label"),
+                        "error": entry.get("error"),
+                        "message": entry.get("message"),
+                        "attempts": entry.get("attempts", 0),
+                        "transient": entry.get("transient"),
+                    }
+                )
 
     for entry in job_entries:
         summary.jobs += 1

@@ -199,6 +199,24 @@ class ProfileReport:
                 render_table(["counter", "value"], rows, title="counters")
             )
 
+        if summary.failures:
+            rows = [
+                [
+                    row.get("label") or "-",
+                    row.get("error") or "-",
+                    row.get("attempts", 0),
+                    "transient" if row.get("transient") else "permanent",
+                ]
+                for row in summary.failed
+            ]
+            sections.append(
+                render_table(
+                    ["failed job", "error", "attempts", "nature"],
+                    rows,
+                    title=f"failures ({summary.failures} total)",
+                )
+            )
+
         return "\n\n".join(sections)
 
 
@@ -212,6 +230,7 @@ def profile_experiments(
     manifest: str | Path | None = None,
     top: int = 10,
     progress: Callable[[str], None] | None = None,
+    resilience=None,
 ) -> ProfileReport:
     """Profile the deduplicated job set of the requested experiments.
 
@@ -237,7 +256,11 @@ def profile_experiments(
 
     obs = Obs(manifest=manifest)
     engine = ExecEngine(
-        jobs=jobs, cache_dir=cache_dir, progress=progress, obs=obs
+        jobs=jobs,
+        cache_dir=cache_dir,
+        progress=progress,
+        obs=obs,
+        resilience=resilience,
     )
     started = time.perf_counter()
     engine.run_jobs(union)

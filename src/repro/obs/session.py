@@ -16,6 +16,7 @@ from pathlib import Path
 from repro.obs.manifest import (
     ManifestSummary,
     ManifestWriter,
+    failure_entry,
     job_entry,
     summarize,
     summary_entry,
@@ -50,6 +51,12 @@ class Obs(ObsScope):
     def record_job(self, job, result, queue_wait_s: float = 0.0) -> dict:
         """Append one resolved-job entry; returns it."""
         entry = job_entry(job, result, queue_wait_s=queue_wait_s)
+        self._append(entry)
+        return entry
+
+    def record_failure(self, record) -> dict:
+        """Append one exhausted-job entry (a ``FailureRecord``); returns it."""
+        entry = failure_entry(record)
         self._append(entry)
         return entry
 

@@ -118,6 +118,9 @@ class TestDiskCache:
         result = engine.run_job(job)
         assert result.source == "run"
         assert engine.counters.cache_hits == 0
+        # ... the bad file was quarantined as evidence ...
+        assert engine.counters.cache_corrupt == 1
+        assert path.with_suffix(".corrupt").is_file()
         # ... and the entry was repaired in passing.
         assert json.loads(path.read_text())["fingerprint"] == fp
 

@@ -1,0 +1,45 @@
+# lint: skip-file
+"""Seeded R007 violations: broad catches and silent swallows."""
+
+
+def broad_catch(payload):
+    try:
+        return int(payload)
+    except Exception as error:  # line 8: overly-broad catch
+        print(error)
+        return 0
+
+
+def broad_in_tuple(payload):
+    try:
+        return float(payload)
+    except (ValueError, BaseException):  # line 16: broad, hidden in a tuple
+        return 0.0
+
+
+def silent_swallow(path):
+    try:
+        path.unlink()
+    except OSError:  # line 23: typed but silently swallowed
+        pass
+
+
+def silent_broad_swallow(job):
+    try:
+        job.run()
+    except Exception:  # line 30: swallow wins over broad (one finding)
+        pass
+
+
+def sanctioned_cleanup(tmp):
+    try:
+        tmp.unlink()
+    except OSError:  # lint: disable=R007
+        pass  # best-effort cleanup: the sanctioned escape hatch
+
+
+def fine_specific_handling(payload):
+    try:
+        return int(payload)
+    except ValueError:
+        raise RuntimeError(f"bad payload {payload!r}") from None

@@ -1,4 +1,4 @@
-"""Each rule R001-R005 fires on its seeded-violation fixture with the
+"""Each rule R001-R007 fires on its seeded-violation fixture with the
 exact rule id and line number, and stays quiet where it should."""
 
 from pathlib import Path
@@ -140,6 +140,47 @@ class TestR006:
         root = Path(__file__).resolve().parents[2] / "src" / "repro"
         config = LintConfig(enabled_rules=frozenset({"R006"}))
         paths = [root / "api.py", root / "core" / "cntcache.py"]
+        assert lint_paths(paths, config) == []
+
+
+class TestR007:
+    def test_fires_on_broad_catches_and_silent_swallows(self):
+        findings = findings_for("r007_swallows.py")
+        assert hits(findings) == [
+            ("R007", 8),
+            ("R007", 16),
+            ("R007", 23),
+            ("R007", 30),
+        ]
+        assert "overly-broad 'Exception'" in findings[0].message
+        assert "overly-broad 'BaseException'" in findings[1].message
+        assert "silently swallows" in findings[2].message
+        # A broad catch that also swallows yields one finding: the swallow.
+        assert "silently swallows" in findings[3].message
+
+    def test_disable_comment_is_the_escape_hatch(self):
+        findings = findings_for("r007_swallows.py")
+        assert all(finding.line != 37 for finding in findings)
+
+    def test_bare_except_stays_r005_territory(self):
+        assert findings_for(
+            "r005_hygiene.py", rules=frozenset({"R007"})
+        ) == []
+
+    def test_quiet_outside_repro_source(self):
+        # Same swallow patterns, but scoped to source: user scripts and
+        # tests may catch broadly.
+        config = LintConfig(honor_skip_file=False, scope_to_source=True)
+        assert lint_paths([FIXTURES / "r007_swallows.py"], config) == []
+
+    def test_quiet_on_real_engine_and_resilience_modules(self):
+        root = Path(__file__).resolve().parents[2] / "src" / "repro"
+        config = LintConfig(enabled_rules=frozenset({"R007"}))
+        paths = [
+            root / "exec" / "engine.py",
+            root / "resilience.py",
+            root / "faults.py",
+        ]
         assert lint_paths(paths, config) == []
 
 

@@ -99,6 +99,27 @@ class TestWriterReader:
         with pytest.raises(ManifestError):
             read_manifest(path)
 
+    def test_skip_mode_drops_bad_lines_keeps_the_rest(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            json.dumps(header_entry()) + "\n"
+            + '{"type": <injected manifest poison>\n'
+            + json.dumps(job()) + "\n"
+            + '["not", "a", "dict"]\n'
+        )
+        with pytest.raises(ManifestError):
+            read_manifest(path)
+        entries = read_manifest(path, on_error="skip")
+        assert [e["type"] for e in entries] == ["header", "job"]
+        with pytest.raises(ManifestError):
+            read_manifest(path, on_error="ignore")
+
+    def test_skip_mode_still_rejects_a_bad_header(self, tmp_path):
+        path = tmp_path / "headerless.jsonl"
+        path.write_text(json.dumps(job()) + "\n")
+        with pytest.raises(ManifestError):
+            read_manifest(path, on_error="skip")
+
     def test_merge_concatenates(self, tmp_path):
         paths = []
         for i in range(2):
@@ -190,3 +211,28 @@ class TestSummarize:
         assert set(summary.slowest[0]) == {
             "label", "kind", "source", "wall_s", "accesses",
         }
+
+    def test_failure_entries_are_counted_and_trimmed(self):
+        failures = [
+            {
+                "type": "failure",
+                "fingerprint": f"f{i}",
+                "label": f"workload:job{i}",
+                "kind": "workload",
+                "workload": "stream",
+                "error": "FaultInjected",
+                "message": "injected",
+                "attempts": 3,
+                "transient": True,
+            }
+            for i in range(5)
+        ]
+        summary = summarize(failures, top=3)
+        assert summary.jobs == 0
+        assert summary.failures == 5
+        assert len(summary.failed) == 3
+        assert summary.failed[0]["label"] == "workload:job0"
+        assert summary.failed[0]["error"] == "FaultInjected"
+        payload = summary.to_dict()
+        assert payload["failures"] == 5
+        assert len(payload["failed"]) == 3
