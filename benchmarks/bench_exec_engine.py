@@ -15,7 +15,9 @@ so the speedups reported by ``--benchmark-only`` are speedups of the
 *same* measurement, not of a drifted one.  The probe-overhead bench
 additionally times disabled-probe and enabled-probe serial runs
 back-to-back and asserts the disabled overhead stays under 5% — the
-zero-cost-when-disabled contract of :mod:`repro.obs.probe`.
+zero-cost-when-disabled contract of :mod:`repro.obs.probe`, with the
+per-access ``trace.ACTIVE`` guards of :mod:`repro.obs.trace` folded
+into the same bound.
 """
 
 from __future__ import annotations
@@ -132,6 +134,15 @@ def test_disabled_probe_overhead_under_5_percent(
     site_hits = sum(
         1 if name.endswith((".bytes", "flush_writebacks")) else value
         for name, value in counters.items()
+    )
+    # The tracer adds one ``if trace.ACTIVE:`` guard per demand access
+    # (plus one per flush/finalize, dominated by the access count).
+    # Each guard is an attribute load and a falsy branch — strictly
+    # cheaper than the disabled probe *call* we price every site at
+    # below, so folding the guards in as extra site hits keeps the
+    # estimate an upper bound.
+    site_hits += counters.get("cache.accesses", 0) + counters.get(
+        "cache.flushes", 0
     )
     assert site_hits > 0
 

@@ -21,7 +21,7 @@ from repro.cache.address import AddressError, AddressMapper
 from repro.cache.line import CacheLine
 from repro.cache.memory import MainMemory
 from repro.cache.replacement import ReplacementPolicy, make_replacement_policy
-from repro.obs import probe
+from repro.obs import probe, trace
 
 
 class CacheError(ValueError):
@@ -366,6 +366,8 @@ class SetAssociativeCache:
         if probe.ENABLED:
             probe.counter("cache.flushes")
             probe.counter("cache.flush_writebacks", len(events))
+        if trace.ACTIVE:
+            trace.emit("flush", writebacks=len(events))
         return events
 
     # ------------------------------------------------------------------ #

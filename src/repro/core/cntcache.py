@@ -19,10 +19,11 @@ from repro.cache.memory import MainMemory
 from repro.cnfet.energy import BitEnergyModel
 from repro.core.config import CNTCacheConfig
 from repro.core.policy import EncodingPolicy, make_policy
-from repro.core.stats import EnergyStats
+from repro.core.stats import ENERGY_COMPONENTS, EnergyStats
 from repro.core.update_queue import PendingUpdate, UpdateQueue
 from repro.encoding import bits
 from repro.encoding.base import DirectionWord
+from repro.obs import trace
 from repro.predictor.history import LineHistory
 from repro.trace.record import Access
 
@@ -119,6 +120,15 @@ class CNTCache:
         self._track_content = config.leakage is not None
         self._stored_ones = 0
         self._total_bits = config.size * 8
+        # Telescoping trace attribution: stat totals at the last emitted
+        # trace event.  Starting from zeros guarantees the per-event
+        # energy deltas sum to stats.total_fj at any sampling stride
+        # (see repro.obs.trace).
+        self._trace_mark: dict[str, float] = dict.fromkeys(
+            ("direction_switches", "partition_flips", "windows_completed")
+            + ENERGY_COMPONENTS,
+            0.0,
+        )
 
     # ------------------------------------------------------------------ #
     # demand path
@@ -147,6 +157,17 @@ class CNTCache:
         """Drain every pending re-encode, charging its write energy."""
         for update in self.queue.drain_all():
             self._apply_update(update)
+        if trace.ACTIVE:
+            # The residual event: energy accumulated since the last
+            # sampled access (skipped accesses + the drain above), so
+            # per-event energies telescope to stats.total_fj exactly.
+            trace.emit(
+                "finalize",
+                index=self.stats.accesses,
+                scheme=self.config.scheme,
+                pending_dropped=self.stats.pending_dropped,
+                **self._trace_deltas(),
+            )
 
     def preload(self, addr: int, payload: bytes) -> None:
         """Install initial memory contents (program image) before a run.
@@ -260,7 +281,66 @@ class CNTCache:
                 ),
             )
 
+        if trace.ACTIVE:
+            self._trace_access(result, is_write)
+
         return result.data
+
+    def _trace_deltas(self) -> dict:
+        """Energy/decision deltas since the last emitted trace event.
+
+        Advances the telescoping mark, so consecutive emitted events
+        partition the run's totals exactly (floating-point subtraction
+        of nearby running sums is exact here to well below the 1e-6 fJ
+        acceptance bound).
+        """
+        mark = self._trace_mark
+        stats = self.stats
+        energy: dict[str, float] = {}
+        for name in ENERGY_COMPONENTS:
+            value = getattr(stats, name)
+            delta = value - mark[name]
+            if delta:
+                energy[name] = delta
+            mark[name] = value
+        decisions: dict[str, int] = {}
+        for name in (
+            "direction_switches", "partition_flips", "windows_completed"
+        ):
+            value = getattr(stats, name)
+            delta = int(value - mark[name])
+            if delta:
+                decisions[name] = delta
+            mark[name] = value
+        return {"energy": energy, **decisions}
+
+    def _trace_access(self, result, is_write: bool) -> None:
+        """Emit one sampled demand-access trace event (index-based)."""
+        index = self.stats.accesses - 1
+        if index % trace.EVERY:
+            return
+        fields = self._trace_deltas()
+        directions = None
+        if result.way >= 0:
+            line = self.cache.line_at(result.set_index, result.way)
+            state = line.sidecar
+            if isinstance(state, LineState):
+                value = 0
+                for position, flag in enumerate(state.directions):
+                    value |= int(flag) << position
+                directions = value
+        trace.emit(
+            "access",
+            index=index,
+            set=result.set_index,
+            way=result.way,
+            hit=result.hit,
+            write=is_write,
+            scheme=self.config.scheme,
+            directions=directions,
+            every=trace.EVERY,
+            **fields,
+        )
 
     def _process_event(self, event: ArrayEvent) -> None:
         kind = event.kind

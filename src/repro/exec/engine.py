@@ -55,8 +55,12 @@ from repro import faults
 from repro.exec.job import ENGINE_SCHEMA, SimJob
 from repro.exec.planner import plan_jobs
 from repro.exec.result import ExecResult
-from repro.exec.worker import execute_job, execute_payload
-from repro.obs import probe
+from repro.exec.worker import (
+    execute_job,
+    execute_payload,
+    init_worker_observability,
+)
+from repro.obs import probe, trace
 from repro.resilience import (
     FailureRecord,
     ResilienceConfig,
@@ -216,7 +220,9 @@ class ExecEngine:
         """
         ordered = list(jobs)
         with probe.recording(self.obs):
-            with probe.timer("exec.batch"):
+            with probe.timer("exec.batch"), trace.span(
+                "exec.batch", jobs=len(ordered)
+            ):
                 return self._resolve(ordered)
 
     def _resolve(self, ordered: list[SimJob]) -> list[ExecResult]:
@@ -319,13 +325,16 @@ class ExecEngine:
         """
         config = self.resilience
         workers = min(self.jobs, len(pending))
-        # Force-enable probes in the workers iff they are on here;
-        # per-job captures come back inside the result payloads.
-        initializer = probe.enable_in_worker if probe.ENABLED else None
+        # Force-enable probes/tracing in the workers iff they are on
+        # here; per-job captures come back inside the result payloads.
+        initializer = initargs = None
+        if probe.ENABLED or trace.ACTIVE:
+            initializer = init_worker_observability
+            initargs = (probe.ENABLED, trace.ACTIVE, trace.EVERY, trace.CAPACITY)
         attempts: dict[str, int] = {job.fingerprint: 0 for job in pending}
         remaining = list(pending)
         rebuilds_left = config.pool_rebuilds
-        pool = ProcessPoolExecutor(max_workers=workers, initializer=initializer)
+        pool = self._make_pool(workers, initializer, initargs)
         try:
             while remaining:
                 batch, remaining = remaining, []
@@ -389,9 +398,7 @@ class ExecEngine:
                         rebuilds_left -= 1
                         self.counters.pool_rebuilds += 1
                         probe.counter("exec.pool_rebuilds")
-                        pool = ProcessPoolExecutor(
-                            max_workers=workers, initializer=initializer
-                        )
+                        pool = self._make_pool(workers, initializer, initargs)
                     elif remaining:
                         self.counters.serial_fallbacks += 1
                         probe.counter("exec.serial_fallbacks")
@@ -412,6 +419,17 @@ class ExecEngine:
                     )
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
+
+    @staticmethod
+    def _make_pool(
+        workers: int, initializer, initargs
+    ) -> ProcessPoolExecutor:
+        """Build a worker pool, arming observability when requested."""
+        if initializer is None:
+            return ProcessPoolExecutor(max_workers=workers)
+        return ProcessPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        )
 
     def _should_retry(
         self, job: SimJob, attempt: int, error: BaseException
@@ -476,6 +494,10 @@ class ExecEngine:
             # here, exactly once.
             if absorb:
                 probe.absorb(result.obs)
+        if absorb and trace.ACTIVE:
+            # Same contract for trace events: worker sinks ship their
+            # snapshot home and it merges into the parent sink once.
+            trace.absorb(result.trace)
         if self.obs is not None:
             self.obs.record_job(job, result, queue_wait_s=queue_wait_s)
         self._memo[job.fingerprint] = result

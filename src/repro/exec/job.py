@@ -46,7 +46,7 @@ from repro.workloads.program import SIZES
 #: Version tag of the engine's job/result contract.  Bump when the payload
 #: layout or the meaning of a job kind changes; every cached result keyed
 #: under the old tag becomes unreadable (a cache miss, never a wrong read).
-ENGINE_SCHEMA = "exec-v2"  # v2: result payloads carry an "obs" snapshot
+ENGINE_SCHEMA = "exec-v3"  # v3: result payloads carry a "trace" snapshot
 
 #: The kinds of work a job can describe.
 #:

@@ -48,6 +48,12 @@ class ExecResult:
         :func:`repro.obs.probe.capture` while the job ran) — ``{}`` when
         the job ran with probes disabled.  Like ``wall_s``/``source`` it
         is transport-only observability, excluded from :meth:`canonical`.
+    ``trace``
+        The per-job trace snapshot (the events captured by
+        :func:`repro.obs.trace.capture` while the job ran, tagged with
+        the job's label/kind/workload/fingerprint/scheme) — ``{}`` when
+        the job ran with tracing disabled.  Transport-only, excluded
+        from :meth:`canonical`.
     ``failure``
         ``None`` for real measurements; the structured
         :class:`~repro.resilience.FailureRecord` of a job that exhausted
@@ -61,6 +67,7 @@ class ExecResult:
     wall_s: float = 0.0
     source: str = "run"
     obs: dict = field(default_factory=dict)
+    trace: dict = field(default_factory=dict)
     failure: FailureRecord | None = None
 
     @classmethod
@@ -111,6 +118,7 @@ class ExecResult:
             "values": dict(self.values),
             "wall_s": self.wall_s,
             "obs": dict(self.obs),
+            "trace": dict(self.trace),
         }
 
     @classmethod
@@ -123,6 +131,7 @@ class ExecResult:
             "values",
             "wall_s",
             "obs",
+            "trace",
         }:
             raise ResultError(f"malformed result payload: {payload!r}")
         if source not in SOURCES:
@@ -130,10 +139,13 @@ class ExecResult:
         stats = payload["stats"]
         values = payload["values"]
         obs = payload["obs"]
+        trace = payload["trace"]
         if not isinstance(values, dict):
             raise ResultError("result values must be a dict")
         if not isinstance(obs, dict):
             raise ResultError("result obs snapshot must be a dict")
+        if not isinstance(trace, dict):
+            raise ResultError("result trace snapshot must be a dict")
         return cls(
             job=job,
             stats=None if stats is None else EnergyStats.from_dict(stats),
@@ -141,6 +153,7 @@ class ExecResult:
             wall_s=float(payload["wall_s"]),
             source=source,
             obs=dict(obs),
+            trace=dict(trace),
         )
 
     def canonical(self) -> str:

@@ -22,7 +22,7 @@ from collections.abc import Iterable
 from repro import faults
 from repro.exec.job import SimJob
 from repro.exec.result import ExecResult
-from repro.obs import probe
+from repro.obs import probe, trace
 from repro.workloads.program import WorkloadRun, get_workload
 
 #: Per-process workload memo: (name, size, seed) -> built run.
@@ -176,19 +176,52 @@ def execute_job(job: SimJob, attempt: int = 0) -> ExecResult:
 
     With probes enabled, the job runs inside a nested capture scope and
     the snapshot rides home on :attr:`ExecResult.obs` — the payload-dict
-    transport that makes per-job counters process-safe.  ``attempt`` is
-    the engine's retry index; it only feeds the fault-injection hook
-    (:mod:`repro.faults`), never the measurement.
+    transport that makes per-job counters process-safe.  Tracing works
+    the same way: a per-job :class:`~repro.obs.trace.TraceSink` captures
+    the access/span events and its tagged snapshot rides home on
+    :attr:`ExecResult.trace`.  ``attempt`` is the engine's retry index;
+    it only feeds the fault-injection hook (:mod:`repro.faults`), never
+    the measurement.
     """
     faults.on_job_start(job.fingerprint, attempt)
     started = time.perf_counter()
     with probe.capture() as scope:
-        with probe.timer(f"phase.{job.kind}"):
-            result = _DISPATCH[job.kind](job)
+        with trace.capture() as sink:
+            with trace.span(f"job.{job.kind}", label=job.label):
+                with probe.timer(f"phase.{job.kind}"):
+                    result = _DISPATCH[job.kind](job)
+        if sink is not None:
+            snapshot = sink.snapshot()
+            snapshot["label"] = job.label
+            snapshot["job_kind"] = job.kind
+            snapshot["workload"] = job.workload
+            snapshot["fingerprint"] = job.fingerprint
+            snapshot["scheme"] = None if job.config is None else job.config.scheme
+            result.trace = snapshot
+            probe.gauge("trace.events", len(snapshot["events"]))
+            probe.gauge("trace.dropped", snapshot["dropped"])
     result.wall_s = time.perf_counter() - started
     if scope is not None:
         result.obs = scope.snapshot()
     return result
+
+
+def init_worker_observability(
+    probe_on: bool,
+    trace_on: bool = False,
+    every: int = 1,
+    capacity: int | None = None,
+) -> None:
+    """Pool initializer: arm the probe/trace switchboards in a fresh worker.
+
+    Module globals do not survive ``ProcessPoolExecutor`` spawn, so the
+    engine ships the parent's switchboard state as ``initargs`` and this
+    runs once per worker process before any job executes.
+    """
+    if probe_on:
+        probe.enable_in_worker()
+    if trace_on:
+        trace.enable_in_worker(every=every, capacity=capacity)
 
 
 def execute_payload(job: SimJob, attempt: int = 0) -> dict:

@@ -11,6 +11,8 @@ Examples::
     cntcache lint src tests       # domain lint + physics-invariant checks
     cntcache profile --size smoke --jobs 2   # pipeline breakdown + manifest
     cntcache profile --json --manifest run.jsonl  # machine-readable
+    cntcache trace --export chrome --out trace.json   # per-access events
+    cntcache bench --size smoke --check      # perf/fidelity regression gate
 
 ``all`` unions the job plans of every experiment, deduplicates them (the
 baseline reference run is simulated once, not once per figure) and
@@ -81,6 +83,203 @@ def write_report(
     return path
 
 
+def _trace_main(argv: list[str]) -> int:
+    """``cntcache trace``: run jobs under the tracer and export the trace."""
+    from repro.core.config import CNTCacheConfig
+    from repro.exec.job import workload_job
+    from repro.obs import trace as trace_module
+    from repro.obs.export import write_chrome, write_collapsed
+
+    parser = argparse.ArgumentParser(
+        prog="cntcache trace",
+        description=(
+            "replay workloads with per-access energy-attributed tracing on "
+            "and export the events as a Chrome trace or an energy flamegraph"
+        ),
+    )
+    parser.add_argument(
+        "--workload",
+        dest="workloads",
+        action="append",
+        metavar="NAME",
+        help="workload(s) to trace (repeatable; default: stream)",
+    )
+    parser.add_argument(
+        "--scheme",
+        dest="schemes",
+        action="append",
+        metavar="NAME",
+        help="encoding scheme(s) to trace (repeatable; default: cnt)",
+    )
+    parser.add_argument(
+        "--size", default="tiny", choices=SIZE_CHOICES,
+        help="workload problem size (default: tiny; smoke = tiny)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="workload seed (default: 7)"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default: 1 = in-process)",
+    )
+    parser.add_argument(
+        "--trace-every", type=int, default=1, metavar="N",
+        help="emit one access event per N demand accesses (default: 1)",
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=None, metavar="EVENTS",
+        help=(
+            "per-sink ring-buffer bound in events (default: "
+            f"{trace_module.CAPACITY}; older events are dropped, counted)"
+        ),
+    )
+    parser.add_argument(
+        "--export", default="chrome", choices=("chrome", "collapsed"),
+        help=(
+            "output format: Chrome trace-event JSON (about:tracing / "
+            "Perfetto) or collapsed-stack energy flamegraph (default: chrome)"
+        ),
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="output path (default: trace.json / trace.collapsed)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true", help="print per-job progress"
+    )
+    args = parser.parse_args(argv)
+    size = SIZE_ALIASES.get(args.size, args.size)
+    workloads = args.workloads or ["stream"]
+    schemes = args.schemes or ["cnt"]
+    known = set(workload_names())
+    for name in workloads:
+        if name not in known:
+            print(f"unknown workload {name!r}; try 'list'", file=sys.stderr)
+            return 2
+    try:
+        configs = [CNTCacheConfig(scheme=scheme) for scheme in schemes]
+        trace_module.configure(every=args.trace_every, capacity=args.capacity)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    jobs = [
+        workload_job(config, name, size, args.seed)
+        for config in configs
+        for name in workloads
+    ]
+    progress = (lambda line: print(line, flush=True)) if args.progress else None
+    engine = ExecEngine(jobs=args.jobs, progress=progress)
+    sink = trace_module.TraceSink(capacity=args.capacity)
+    try:
+        with trace_module.tracing(
+            sink, every=args.trace_every, capacity=args.capacity
+        ):
+            results = engine.run_jobs(jobs)
+    except JobFailure as error:
+        print(f"job failed: {error}", file=sys.stderr)
+        return 1
+    traces = [result.trace for result in results if result.trace]
+    out = args.out or ("trace.json" if args.export == "chrome" else "trace.collapsed")
+    if args.export == "chrome":
+        path = write_chrome(traces, out)
+    else:
+        path = write_collapsed(traces, out)
+    events = sum(len(trace.get("events", [])) for trace in traces)
+    dropped = sum(int(trace.get("dropped", 0)) for trace in traces)
+    print(
+        f"traced {len(traces)} job(s), {events} event(s) retained"
+        + (f", {dropped} dropped by the ring bound" if dropped else "")
+    )
+    print(f"{args.export} trace written to {path}")
+    return 0
+
+
+def _bench_main(argv: list[str]) -> int:
+    """``cntcache bench``: measure the suite, append a trajectory record."""
+    from repro.obs import bench as bench_module
+
+    parser = argparse.ArgumentParser(
+        prog="cntcache bench",
+        description=(
+            "measure the declared benchmark suite (sim/exec throughput + "
+            "paper-fidelity numbers), append a BENCH_<n>.json record to the "
+            "trajectory and flag regressions against its recent history"
+        ),
+    )
+    parser.add_argument(
+        "--size", default="tiny", choices=SIZE_CHOICES,
+        help="workload problem size (default: tiny; smoke = tiny)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="workload seed (default: 7)"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="worker processes for the parallel metric (default: 2)",
+    )
+    parser.add_argument(
+        "--bench-dir", default="benchmarks/trajectory", metavar="DIR",
+        help=(
+            "trajectory directory holding BENCH_<n>.json records "
+            "(default: benchmarks/trajectory)"
+        ),
+    )
+    parser.add_argument(
+        "--window", type=int, default=5, metavar="K",
+        help="baseline = median of the last K comparable records (default: 5)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when any metric regresses (the CI gate)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true", help="print suite progress"
+    )
+    args = parser.parse_args(argv)
+    size = SIZE_ALIASES.get(args.size, args.size)
+    progress = (lambda line: print(line, flush=True)) if args.progress else None
+    try:
+        metrics = bench_module.collect(
+            size=size, seed=args.seed, jobs=args.jobs, progress=progress
+        )
+        record = bench_module.make_record(
+            metrics,
+            directory=args.bench_dir,
+            size=size,
+            seed=args.seed,
+            jobs=args.jobs,
+        )
+        trajectory = bench_module.load_trajectory(args.bench_dir)
+        regressions = bench_module.compare(
+            record, trajectory, window=args.window
+        )
+        path = bench_module.append_record(record, args.bench_dir)
+    except bench_module.BenchError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    except JobFailure as error:
+        print(f"job failed: {error}", file=sys.stderr)
+        return 1
+    for spec in bench_module.METRICS:
+        value = record.metrics.get(spec.name)
+        if value is None:
+            continue
+        print(f"  {spec.name:32} {value:>14.4f}  ({spec.description})")
+    print(
+        f"record {record.index} appended to {path} "
+        f"(git {record.git_sha[:12]}, machine {record.machine})"
+    )
+    if regressions:
+        for regression in regressions:
+            print(f"REGRESSION {regression.describe()}", file=sys.stderr)
+        if args.check:
+            return 1
+        print("(informational: run with --check to gate on regressions)")
+    elif args.check:
+        print("bench check passed: no regressions against the trajectory")
+    return 0
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="cntcache",
@@ -90,7 +289,8 @@ def _parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment id (t1, f3, ...), 'all', 'report', 'list', "
-            "'selftest', 'profile', or 'lint' (see 'cntcache lint --help')"
+            "'selftest', 'profile', 'lint', 'trace' or 'bench' (the last "
+            "three own their argument sets; see 'cntcache <cmd> --help')"
         ),
     )
     parser.add_argument(
@@ -215,6 +415,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv[:1] == ["trace"]:
+        return _trace_main(argv[1:])
+    if argv[:1] == ["bench"]:
+        return _bench_main(argv[1:])
     args = _parser().parse_args(argv)
     size = SIZE_ALIASES.get(args.size, args.size)
     if args.jobs < 1:

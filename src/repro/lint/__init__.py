@@ -3,7 +3,7 @@
 Three layers (see docs/STATIC_ANALYSIS.md):
 
 * an AST rule engine (:mod:`repro.lint.engine`) running the project
-  rules R001-R007 of :mod:`repro.lint.rules` — energy-accounting
+  rules R001-R008 of :mod:`repro.lint.rules` — energy-accounting
   discipline, calibration-constant placement, codec registry coverage,
   config-validation coverage, general hygiene, execution discipline and
   error-swallowing discipline;

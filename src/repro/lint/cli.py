@@ -28,7 +28,7 @@ def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="cntcache lint",
         description=(
-            "CNT-Cache domain lint: energy-accounting rules R001-R007 "
+            "CNT-Cache domain lint: energy-accounting rules R001-R008 "
             "plus the P001-P006 physics-invariant checks"
         ),
     )

@@ -10,6 +10,7 @@ from repro.lint.rules.energy import EnergyAccumulationRule, EnergyLiteralRule
 from repro.lint.rules.execution import DirectSimulationRule
 from repro.lint.rules.exports import CodecRegistrationRule
 from repro.lint.rules.hygiene import HygieneRule
+from repro.lint.rules.metrics import MetricNameRule
 from repro.lint.rules.resilience import ErrorSwallowRule
 
 #: Every registered rule, keyed by id.
@@ -23,6 +24,7 @@ RULES: dict[str, LintRule] = {
         HygieneRule(),
         DirectSimulationRule(),
         ErrorSwallowRule(),
+        MetricNameRule(),
     )
 }
 
@@ -44,4 +46,5 @@ __all__ = [
     "DirectSimulationRule",
     "ErrorSwallowRule",
     "HygieneRule",
+    "MetricNameRule",
 ]

@@ -1,15 +1,22 @@
-"""Observability: probes, run manifests and the pipeline profiler.
+"""Observability: probes, traces, manifests, the profiler and benches.
 
-Three layers, cheapest first:
+Five layers, cheapest first:
 
-* :mod:`repro.obs.probe` — process-global counters/timers/events that
-  instrumented code publishes into; **zero cost when disabled** (one
-  flag check), so they live permanently in the hot paths.
+* :mod:`repro.obs.probe` — process-global counters/timers/events/gauges
+  that instrumented code publishes into; **zero cost when disabled**
+  (one flag check), so they live permanently in the hot paths.
+* :mod:`repro.obs.trace` — opt-in bounded ring-buffer event tracer:
+  per-access energy-attributed events + lifecycle spans, exported by
+  :mod:`repro.obs.export` to Chrome trace-event JSON or collapsed-stack
+  energy flamegraphs (``cntcache trace``).
 * :mod:`repro.obs.manifest` — JSONL run manifests (one entry per unique
   job resolution + a batch summary) with a reader, a cross-batch merger
   and a zero-guarded aggregator.
 * :mod:`repro.obs.profile` — ``cntcache profile``: replay experiments
   with probes on and render/export the breakdown.
+* :mod:`repro.obs.bench` — ``cntcache bench``: the recorded benchmark
+  trajectory (``BENCH_<n>.json``) and the CI perf/fidelity regression
+  gate.
 
 The :class:`Obs` session ties them together and is what every harness
 helper accepts through the uniform ``obs=`` keyword:
@@ -20,6 +27,20 @@ helper accepts through the uniform ``obs=`` keyword:
     print(obs.summary().to_dict())
 """
 
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    BenchError,
+    BenchRecord,
+    append_record,
+    compare,
+    load_trajectory,
+)
+from repro.obs.export import (
+    chrome_trace,
+    collapsed_stacks,
+    write_chrome,
+    write_collapsed,
+)
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
     ManifestError,
@@ -29,7 +50,8 @@ from repro.obs.manifest import (
     read_manifest,
     summarize,
 )
-from repro.obs.probe import ObsScope, counter, event, recording, timer
+from repro.obs.names import METRIC_NAMES, is_registered
+from repro.obs.probe import ObsScope, counter, event, gauge, recording, timer
 from repro.obs.profile import (
     PROFILE_SCHEMA,
     ProfileError,
@@ -37,10 +59,21 @@ from repro.obs.profile import (
     profile_experiments,
 )
 from repro.obs.session import Obs
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    TraceSink,
+    canonical_access_events,
+    tracing,
+)
 
 __all__ = [
+    "BENCH_SCHEMA",
     "MANIFEST_SCHEMA",
+    "METRIC_NAMES",
     "PROFILE_SCHEMA",
+    "TRACE_SCHEMA",
+    "BenchError",
+    "BenchRecord",
     "ManifestError",
     "ManifestSummary",
     "ManifestWriter",
@@ -48,12 +81,24 @@ __all__ = [
     "ObsScope",
     "ProfileError",
     "ProfileReport",
+    "TraceSink",
+    "append_record",
+    "canonical_access_events",
+    "chrome_trace",
+    "collapsed_stacks",
+    "compare",
     "counter",
     "event",
+    "gauge",
+    "is_registered",
+    "load_trajectory",
     "merge_manifests",
     "profile_experiments",
     "read_manifest",
     "recording",
     "summarize",
     "timer",
+    "tracing",
+    "write_chrome",
+    "write_collapsed",
 ]

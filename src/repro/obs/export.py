@@ -1,0 +1,146 @@
+"""Trace exporters: Chrome trace-event JSON and collapsed-stack energy.
+
+Both exporters consume per-job trace snapshots (the dicts
+:mod:`repro.obs.trace` ships on :attr:`ExecResult.trace`):
+
+* :func:`chrome_trace` — the Chrome trace-event JSON object format
+  (``{"traceEvents": [...]}``), loadable in ``about:tracing`` /
+  Perfetto.  Each job becomes one named thread; sampled demand accesses
+  are complete (``"ph": "X"``) events on an access-index timeline (one
+  microsecond-unit tick per access, ``dur`` = the sampling stride, so
+  adjacent samples tile the axis), spans keep their wall-clock
+  microseconds, and the ``finalize`` residual is an instant event.
+* :func:`collapsed_stacks` — the Brendan-Gregg collapsed-stack format,
+  one ``frame;frame;... value`` line per stack, with **femtojoules**
+  (scaled to integer attojoules) as the value instead of time:
+  ``workload;cache-level;scheme;component aJ``.  Feed it to any
+  flamegraph renderer to see where the energy went.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+
+def _access_name(event: dict) -> str:
+    op = "write" if event.get("write") else "read"
+    outcome = "hit" if event.get("hit") else "miss"
+    return f"{op} {outcome}"
+
+
+def chrome_trace(traces: Iterable[dict]) -> dict:
+    """Build a Chrome trace-event JSON object from per-job snapshots."""
+    trace_events: list[dict] = []
+    for tid, trace in enumerate(traces, start=1):
+        if not trace:
+            continue
+        label = str(trace.get("label") or f"trace-{tid}")
+        trace_events.append(
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": label},
+            }
+        )
+        for event in trace.get("events", []):
+            kind = event.get("kind")
+            args = {
+                name: value
+                for name, value in event.items()
+                if name not in ("kind", "ts_us", "dur_us")
+            }
+            if kind == "access":
+                stride = max(int(event.get("every", 1)), 1)
+                trace_events.append(
+                    {
+                        "ph": "X",
+                        "pid": 1,
+                        "tid": tid,
+                        "cat": "access",
+                        "name": _access_name(event),
+                        "ts": float(event.get("index", 0)),
+                        "dur": float(stride),
+                        "args": args,
+                    }
+                )
+            elif kind == "span":
+                trace_events.append(
+                    {
+                        "ph": "X",
+                        "pid": 1,
+                        "tid": tid,
+                        "cat": "span",
+                        "name": str(event.get("name", "span")),
+                        "ts": float(event.get("ts_us", 0.0)),
+                        "dur": float(event.get("dur_us", 0.0)),
+                        "args": args,
+                    }
+                )
+            else:  # finalize and any future instant kinds
+                trace_events.append(
+                    {
+                        "ph": "i",
+                        "pid": 1,
+                        "tid": tid,
+                        "cat": "trace",
+                        "name": str(kind),
+                        "ts": float(event.get("index", 0)),
+                        "s": "t",
+                        "args": args,
+                    }
+                )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def collapsed_stacks(traces: Iterable[dict]) -> list[str]:
+    """Collapsed-stack lines attributing attojoules to component stacks.
+
+    The stack is ``workload;cache-level;scheme;component`` and the value
+    is the integer attojoule total (fJ x 1000, rounded) so standard
+    flamegraph tooling — which expects integer sample counts — renders
+    an energy profile directly.
+    """
+    totals: dict[str, float] = {}
+    for trace in traces:
+        if not trace:
+            continue
+        workload = str(trace.get("workload") or "unknown")
+        level = "l2" if trace.get("job_kind") == "l2" else "l1"
+        scheme = str(trace.get("scheme") or "none")
+        for event in trace.get("events", []):
+            if event.get("kind") not in ("access", "finalize"):
+                continue
+            for component, fj in event.get("energy", {}).items():
+                stack = f"{workload};{level};{scheme};{component}"
+                totals[stack] = totals.get(stack, 0.0) + float(fj)
+    return [
+        f"{stack} {round(fj * 1000.0)}"
+        for stack, fj in sorted(totals.items())
+        if round(fj * 1000.0) > 0
+    ]
+
+
+def write_chrome(traces: Iterable[dict], path: str | Path) -> Path:
+    """Write :func:`chrome_trace` output as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(chrome_trace(traces), sort_keys=True), encoding="utf-8"
+    )
+    return path
+
+
+def write_collapsed(traces: Iterable[dict], path: str | Path) -> Path:
+    """Write :func:`collapsed_stacks` lines; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = collapsed_stacks(traces)
+    path.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+    return path
+
+
+__all__ = ["chrome_trace", "collapsed_stacks", "write_chrome", "write_collapsed"]

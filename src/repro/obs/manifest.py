@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
@@ -82,6 +83,7 @@ def job_entry(job, result, queue_wait_s: float = 0.0) -> dict:
         "counters": dict(obs.get("counters", {})),
         "timers": dict(obs.get("timers", {})),
         "events": list(obs.get("events", [])),
+        "gauges": dict(obs.get("gauges", {})),
     }
 
 
@@ -99,6 +101,7 @@ def summary_entry(engine: dict, wall_s: float, scope=None) -> dict:
         "wall_s": wall_s,
         "counters": dict(snapshot.get("counters", {})),
         "timers": dict(snapshot.get("timers", {})),
+        "gauges": dict(snapshot.get("gauges", {})),
         "dropped_events": snapshot.get("dropped_events", 0),
     }
 
@@ -230,6 +233,8 @@ class ManifestSummary:
     counters: dict = field(default_factory=dict)
     #: aggregated probe timers, seconds
     timers: dict = field(default_factory=dict)
+    #: merged point-in-time gauges (last write wins, summary preferred)
+    gauges: dict = field(default_factory=dict)
     #: top-N slowest job entries (trimmed)
     slowest: list = field(default_factory=list)
     #: jobs that exhausted their attempts (``failure`` entries)
@@ -278,6 +283,7 @@ class ManifestSummary:
             "engine": self.engine,
             "counters": self.counters,
             "timers": self.timers,
+            "gauges": self.gauges,
             "slowest": self.slowest,
             "failures": self.failures,
             "failed": self.failed,
@@ -287,6 +293,20 @@ class ManifestSummary:
 def _merge_numeric(into: dict, values: dict) -> None:
     for name, value in values.items():
         into[name] = into.get(name, 0) + value
+
+
+def _finite(value, default: float = 0.0) -> float:
+    """``value`` as a finite float; NaN/inf/garbage clamp to ``default``.
+
+    Manifest entries can come off disk (merged batches, foreign
+    writers), so a poisoned ``wall_s`` or ``total_fj`` must degrade to
+    zero instead of propagating NaN through every per-kind rate.
+    """
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        return default
+    return value if math.isfinite(value) else default
 
 
 def summarize(entries: Iterable[dict], top: int = 10) -> ManifestSummary:
@@ -311,6 +331,7 @@ def summarize(entries: Iterable[dict], top: int = 10) -> ManifestSummary:
             _merge_numeric(summary.engine, entry.get("engine", {}))
             _merge_numeric(summary.counters, entry.get("counters", {}))
             _merge_numeric(summary.timers, entry.get("timers", {}))
+            summary.gauges.update(entry.get("gauges", {}))
         elif kind == "failure":
             summary.failures += 1
             if len(summary.failed) < max(top, 0):
@@ -324,20 +345,24 @@ def summarize(entries: Iterable[dict], top: int = 10) -> ManifestSummary:
                     }
                 )
 
+    job_gauges: dict = {}
     for entry in job_entries:
+        wall_s = _finite(entry.get("wall_s", 0.0))
+        accesses = int(_finite(entry.get("accesses", 0)))
         summary.jobs += 1
-        summary.accesses += int(entry.get("accesses", 0))
-        summary.wall_s += float(entry.get("wall_s", 0.0))
-        summary.queue_wait_s += float(entry.get("queue_wait_s", 0.0))
+        summary.accesses += accesses
+        summary.wall_s += wall_s
+        summary.queue_wait_s += _finite(entry.get("queue_wait_s", 0.0))
         _merge_numeric(job_counters, entry.get("counters", {}))
         _merge_numeric(job_timers, entry.get("timers", {}))
+        job_gauges.update(entry.get("gauges", {}))
 
         by_kind = summary.by_kind.setdefault(
             entry.get("kind", "?"), {"jobs": 0, "wall_s": 0.0, "accesses": 0}
         )
         by_kind["jobs"] += 1
-        by_kind["wall_s"] += float(entry.get("wall_s", 0.0))
-        by_kind["accesses"] += int(entry.get("accesses", 0))
+        by_kind["wall_s"] += wall_s
+        by_kind["accesses"] += accesses
 
         source = entry.get("source", "?")
         summary.by_source[source] = summary.by_source.get(source, 0) + 1
@@ -345,12 +370,12 @@ def summarize(entries: Iterable[dict], top: int = 10) -> ManifestSummary:
         energy = entry.get("energy")
         if energy:
             components = {
-                name: value
+                name: _finite(value)
                 for name, value in energy.items()
                 if isinstance(value, (int, float)) and name.endswith("_fj")
             }
             _merge_numeric(summary.energy_fj, components)
-            total = float(entry.get("total_fj") or 0.0)
+            total = _finite(entry.get("total_fj") or 0.0)
             # Report-side aggregation of already-metered energy, not a
             # new energy source.
             summary.total_fj += total  # lint: disable=R001
@@ -360,11 +385,20 @@ def summarize(entries: Iterable[dict], top: int = 10) -> ManifestSummary:
             )
             by_scheme["jobs"] += 1
             by_scheme["total_fj"] += total
-            by_scheme["accesses"] += int(entry.get("accesses", 0))
+            by_scheme["accesses"] += int(_finite(entry.get("accesses", 0)))
 
     if not saw_summary:
         summary.counters = job_counters
         summary.timers = job_timers
+        summary.gauges = job_gauges
+
+    for by_kind in summary.by_kind.values():
+        # A kind whose jobs all resolved instantly (memo/cache hits with
+        # zero recorded wall time) must rate as 0, never NaN/inf.
+        wall = by_kind["wall_s"]
+        by_kind["accesses_per_s"] = (
+            by_kind["accesses"] / wall if wall > 0 else 0.0
+        )
 
     for by_scheme in summary.by_scheme.values():
         accesses = by_scheme["accesses"]
@@ -373,15 +407,17 @@ def summarize(entries: Iterable[dict], top: int = 10) -> ManifestSummary:
         )
 
     ranked = sorted(
-        job_entries, key=lambda entry: entry.get("wall_s", 0.0), reverse=True
+        job_entries,
+        key=lambda entry: _finite(entry.get("wall_s", 0.0)),
+        reverse=True,
     )
     summary.slowest = [
         {
             "label": entry.get("label"),
             "kind": entry.get("kind"),
             "source": entry.get("source"),
-            "wall_s": entry.get("wall_s", 0.0),
-            "accesses": entry.get("accesses", 0),
+            "wall_s": _finite(entry.get("wall_s", 0.0)),
+            "accesses": int(_finite(entry.get("accesses", 0))),
         }
         for entry in ranked[: max(top, 0)]
     ]

@@ -1,7 +1,8 @@
-"""Process-global probe switchboard: counters, timers and events.
+"""Process-global probe switchboard: counters, timers, events and gauges.
 
 Instrumented code (the cache demand path, the codecs, the exec engine,
-the workload generators) calls :func:`counter`/:func:`timer`/:func:`event`
+the workload generators) calls
+:func:`counter`/:func:`timer`/:func:`event`/:func:`gauge`
 unconditionally; whether anything happens is decided by one module-global
 flag, :data:`ENABLED`.  The contract is *zero cost when disabled*: with no
 scope recording, every probe is one attribute load and a falsy branch —
@@ -63,14 +64,18 @@ class ObsScope:
     ``events``
         bounded list of ``{"name": ..., **fields}`` dicts (first
         :data:`MAX_EVENTS`; the overflow is counted in ``dropped_events``).
+    ``gauges``
+        name -> last observed point-in-time value (ring-buffer
+        occupancy, queue depths...); last write wins, also on absorb.
     """
 
-    __slots__ = ("counters", "timers", "events", "dropped_events")
+    __slots__ = ("counters", "timers", "events", "gauges", "dropped_events")
 
     def __init__(self) -> None:
         self.counters: dict[str, int] = {}
         self.timers: dict[str, float] = {}
         self.events: list[dict] = []
+        self.gauges: dict[str, float] = {}
         self.dropped_events = 0
 
     # -------------------------------------------------------------- #
@@ -91,6 +96,10 @@ class ObsScope:
             return
         self.events.append({"name": name, **fields})
 
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to a point-in-time ``value`` (last wins)."""
+        self.gauges[name] = value
+
     # -------------------------------------------------------------- #
     # transport
     # -------------------------------------------------------------- #
@@ -100,6 +109,7 @@ class ObsScope:
             "counters": dict(self.counters),
             "timers": dict(self.timers),
             "events": [dict(event) for event in self.events],
+            "gauges": dict(self.gauges),
             "dropped_events": self.dropped_events,
         }
 
@@ -113,6 +123,8 @@ class ObsScope:
             fields = dict(event_fields)
             name = fields.pop("name", "event")
             self.add_event(name, fields)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.set_gauge(name, float(value))
         self.dropped_events += int(snapshot.get("dropped_events", 0))
 
 
@@ -159,6 +171,18 @@ def event(name: str, **fields: Any) -> None:
         return
     for scope in _SCOPES:
         scope.add_event(name, fields)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a point-in-time gauge in every active scope (no-op when disabled).
+
+    Unlike :func:`counter`, a gauge does not accumulate: the last write
+    wins, both within a scope and when worker snapshots are absorbed.
+    """
+    if not ENABLED:
+        return
+    for scope in _SCOPES:
+        scope.set_gauge(name, float(value))
 
 
 # ------------------------------------------------------------------ #

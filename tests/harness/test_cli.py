@@ -96,8 +96,49 @@ class TestCLI:
         assert main(args) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["schema"] == "obs-profile-v1"
-        assert payload["summary"]["jobs"] > 0
-        assert "cache_hit_rate" in payload["summary"]
+        summary = payload["summary"]
+        assert summary["jobs"] > 0
+        for key in (
+            "accesses", "wall_s", "cache_hit_rate", "accesses_per_s",
+            "by_kind", "by_source", "by_scheme", "energy_fj", "engine",
+            "counters", "timers", "gauges", "slowest",
+        ):
+            assert key in summary, key
+
+    def test_trace_command_writes_loadable_chrome_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        args = ["trace", "--size", "smoke", "--seed", "3",
+                "--trace-every", "4", "--out", str(out)]
+        assert main(args) == 0
+        doc = json.loads(out.read_text())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        events = doc["traceEvents"]
+        assert {event["ph"] for event in events} >= {"M", "X"}
+        accesses = [e for e in events if e.get("cat") == "access"]
+        assert accesses and all(e["dur"] == 4.0 for e in accesses)
+        assert "chrome trace written" in capsys.readouterr().out
+
+    def test_trace_command_collapsed_energy_export(self, tmp_path):
+        out = tmp_path / "energy.collapsed"
+        args = ["trace", "--size", "smoke", "--seed", "3",
+                "--export", "collapsed", "--out", str(out)]
+        assert main(args) == 0
+        lines = out.read_text().splitlines()
+        assert lines
+        for line in lines:
+            stack, value = line.rsplit(" ", 1)
+            assert stack.count(";") == 3  # workload;level;scheme;component
+            assert int(value) > 0
+
+    def test_trace_unknown_workload_rejected(self, capsys):
+        assert main(["trace", "--workload", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_trace_bad_stride_rejected(self, capsys):
+        assert main(["trace", "--trace-every", "0"]) == 2
+        assert "positive" in capsys.readouterr().err
 
     def test_profile_unknown_experiment(self, capsys):
         assert main(["profile", "--experiment", "zz"]) == 2

@@ -1,0 +1,38 @@
+# lint: skip-file
+"""Seeded R008 violations: typo'd, malformed and unregistered names."""
+
+probe = None  # stands in for repro.obs.probe in this fixture
+trace = None  # stands in for repro.obs.trace
+
+
+def typo_forks_the_series():
+    probe.counter("exec.retires")  # line 9: typo'd, unregistered
+
+
+def malformed_names():
+    probe.gauge("Trace.Events", 1.0)  # line 13: not dotted lowercase
+    probe.timing("hits", 0.5)  # line 14: single token, no dot
+
+
+def conditional_branch(hit):
+    probe.counter("cache.hits" if hit else "cache.missses")  # line 18
+
+
+def span_violation():
+    with trace.span("NotDotted"):  # line 22: malformed span name
+        pass
+
+
+def clean_uses(kind):
+    probe.counter("cache.hits")
+    with probe.timer("phase.workload"):
+        pass
+    probe.counter(f"codec.{kind}.applies")  # dynamic name: skipped
+    with trace.span("job.workload"):
+        pass
+    probe.event("exec.timeouts", note="registered event name")
+    trace.emit("access", index=0)  # event kind, not a metric: exempt
+
+
+def deliberate_one_off():
+    probe.counter("scratch")  # lint: disable=R008

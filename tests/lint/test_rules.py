@@ -1,4 +1,4 @@
-"""Each rule R001-R007 fires on its seeded-violation fixture with the
+"""Each rule R001-R008 fires on its seeded-violation fixture with the
 exact rule id and line number, and stays quiet where it should."""
 
 from pathlib import Path
@@ -180,6 +180,50 @@ class TestR007:
             root / "exec" / "engine.py",
             root / "resilience.py",
             root / "faults.py",
+        ]
+        assert lint_paths(paths, config) == []
+
+
+class TestR008:
+    def test_fires_on_typos_malformed_and_unregistered_names(self):
+        findings = findings_for("r008_metrics.py")
+        assert hits(findings) == [
+            ("R008", 9),
+            ("R008", 13),
+            ("R008", 14),
+            ("R008", 18),
+            ("R008", 22),
+        ]
+        assert "exec.retires" in findings[0].message
+        assert "dotted" in findings[1].message
+        assert "dotted" in findings[2].message
+        # Both branches of the conditional are checked; only the typo'd
+        # one fires.
+        assert "cache.missses" in findings[3].message
+        assert "NotDotted" in findings[4].message
+
+    def test_disable_comment_is_the_escape_hatch(self):
+        findings = findings_for("r008_metrics.py")
+        assert all(finding.line != 38 for finding in findings)
+
+    def test_dynamic_names_and_event_kinds_are_exempt(self):
+        # The clean_uses block (registered literals, f-strings,
+        # trace.emit kinds) must contribute no findings.
+        findings = findings_for("r008_metrics.py")
+        assert all(finding.line < 26 for finding in findings)
+
+    def test_quiet_outside_repro_source(self):
+        config = LintConfig(honor_skip_file=False, scope_to_source=True)
+        assert lint_paths([FIXTURES / "r008_metrics.py"], config) == []
+
+    def test_quiet_on_real_instrumented_modules(self):
+        root = Path(__file__).resolve().parents[2] / "src" / "repro"
+        config = LintConfig(enabled_rules=frozenset({"R008"}))
+        paths = [
+            root / "cache" / "cache.py",
+            root / "exec" / "engine.py",
+            root / "exec" / "worker.py",
+            root / "core" / "cntcache.py",
         ]
         assert lint_paths(paths, config) == []
 

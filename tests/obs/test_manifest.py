@@ -156,6 +156,55 @@ class TestSummarize:
         summary = summarize([job(accesses=0, total_fj=10.0)])
         assert summary.by_scheme["cnt"]["fj_per_access"] == 0.0
 
+    def test_poisoned_numeric_fields_clamp_instead_of_nan(self):
+        # Regression: a NaN wall_s (or total_fj/accesses off a merged,
+        # foreign-written manifest) used to propagate into every per-kind
+        # rate; non-finite inputs must clamp to zero.
+        entries = [
+            job(wall_s=float("nan"), accesses=100),
+            job(wall_s=float("inf"), total_fj=float("nan")),
+            job(wall_s="garbage", accesses=None, total_fj=2000.0),
+            job(wall_s=2.0, accesses=100, total_fj=1000.0),
+        ]
+        summary = summarize(entries)
+        payload = summary.to_dict()
+        # Only the healthy entry's wall time survives the clamp; the
+        # NaN total_fj degrades to 0 while the finite ones still sum.
+        assert summary.wall_s == pytest.approx(2.0)
+        assert summary.total_fj == pytest.approx(2000.0 + 2000.0 + 1000.0)
+        by_kind = summary.by_kind["workload"]
+        assert by_kind["accesses_per_s"] == pytest.approx(300 / 2.0)
+        text = json.dumps(payload)
+        assert "NaN" not in text and "Infinity" not in text
+
+    def test_all_zero_wall_per_kind_rates_are_zero(self):
+        summary = summarize([job(wall_s=0.0, accesses=100)])
+        assert summary.by_kind["workload"]["accesses_per_s"] == 0.0
+
+    def test_gauges_prefer_summary_and_fall_back_to_jobs(self):
+        with_summary = summarize([
+            dict(job(), gauges={"trace.events": 5.0}),
+            {
+                "type": "summary",
+                "engine": {},
+                "wall_s": 1.0,
+                "counters": {},
+                "timers": {},
+                "gauges": {"trace.events": 9.0},
+                "dropped_events": 0,
+            },
+        ])
+        assert with_summary.gauges == {"trace.events": 9.0}
+        jobs_only = summarize([
+            dict(job(), gauges={"trace.events": 5.0}),
+            dict(job(), gauges={"trace.dropped": 1.0}),
+        ])
+        assert jobs_only.gauges == {
+            "trace.events": 5.0,
+            "trace.dropped": 1.0,
+        }
+        assert "gauges" in jobs_only.to_dict()
+
     def test_aggregates_by_kind_source_scheme(self):
         entries = [
             job(kind="workload", scheme="cnt", source="run",

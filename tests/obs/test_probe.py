@@ -107,6 +107,34 @@ class TestRecording:
         assert probe._SCOPES == []
 
 
+class TestGauges:
+    def test_noop_when_disabled(self):
+        probe.gauge("trace.events", 42.0)
+        assert probe.ENABLED is False
+        assert probe._SCOPES == []
+
+    def test_last_write_wins_in_every_scope(self):
+        outer = ObsScope()
+        with probe.recording(outer):
+            probe.gauge("trace.events", 10)
+            with probe.capture() as inner:
+                probe.gauge("trace.events", 25.5)
+        assert outer.gauges == {"trace.events": 25.5}
+        assert inner.gauges == {"trace.events": 25.5}
+
+    def test_snapshot_and_absorb_round_trip(self):
+        source = ObsScope()
+        with probe.recording(source):
+            probe.gauge("trace.dropped", 3)
+        snapshot = source.snapshot()
+        assert snapshot["gauges"] == {"trace.dropped": 3.0}
+        target = ObsScope()
+        target.set_gauge("trace.dropped", 99.0)
+        target.absorb(snapshot)
+        # Absorb overwrites (a gauge is point-in-time, not cumulative).
+        assert target.gauges == {"trace.dropped": 3.0}
+
+
 class TestTransport:
     def test_snapshot_roundtrips_through_absorb(self):
         source = ObsScope()

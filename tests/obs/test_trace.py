@@ -1,0 +1,281 @@
+"""Tracer unit + integration tests: inert off, exact and deterministic on."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.config import CNTCacheConfig
+from repro.harness.runner import replay
+from repro.obs import trace
+from repro.obs.export import chrome_trace, collapsed_stacks
+from repro.obs.trace import TraceSink, canonical_access_events
+from repro.workloads.program import get_workload
+
+
+@pytest.fixture(autouse=True)
+def clean_switchboard():
+    """Every test starts and ends with the trace switchboard at rest."""
+    assert trace._SINKS == []
+    assert trace.ACTIVE is False
+    previous = (trace.EVERY, trace.CAPACITY)
+    yield
+    assert trace._SINKS == []
+    assert trace.ACTIVE is False
+    trace.configure(every=previous[0], capacity=previous[1])
+
+
+class TestSink:
+    def test_ring_buffer_evicts_and_counts_dropped(self):
+        sink = TraceSink(capacity=4)
+        for index in range(10):
+            sink.record({"kind": "access", "index": index})
+        assert len(sink.events) == 4
+        assert sink.emitted == 10
+        assert sink.dropped == 6
+        assert [event["index"] for event in sink.events] == [6, 7, 8, 9]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TraceSink(capacity=0)
+        with pytest.raises(ValueError):
+            trace.configure(every=0)
+
+    def test_snapshot_is_json_ready_and_schema_tagged(self):
+        sink = TraceSink(capacity=2)
+        sink.record({"kind": "access", "index": 0})
+        snapshot = sink.snapshot()
+        assert snapshot["schema"] == trace.TRACE_SCHEMA
+        assert snapshot["emitted"] == 1
+        assert snapshot["dropped"] == 0
+        json.dumps(snapshot)  # must round-trip as JSON
+
+    def test_absorb_carries_dropped_count_over(self):
+        source = TraceSink(capacity=2)
+        for index in range(5):
+            source.record({"kind": "access", "index": index})
+        target = TraceSink()
+        target.absorb(source.snapshot())
+        assert len(target.events) == 2
+        assert target.dropped == 3
+
+
+class TestSwitchboard:
+    def test_inactive_by_default_and_emit_is_noop(self):
+        trace.emit("access", index=0)
+        with trace.span("job.test"):
+            pass
+        assert trace.ACTIVE is False
+
+    def test_capture_yields_none_when_inactive(self):
+        with trace.capture() as sink:
+            assert sink is None
+
+    def test_tracing_records_into_the_sink(self):
+        sink = TraceSink()
+        with trace.tracing(sink):
+            assert trace.ACTIVE is True
+            trace.emit("access", index=0)
+        assert trace.ACTIVE is False
+        assert [event["kind"] for event in sink.events] == ["access"]
+
+    def test_tracing_none_is_noop(self):
+        with trace.tracing(None) as sink:
+            assert sink is None
+            assert trace.ACTIVE is False
+
+    def test_tracing_same_sink_reentrant_safe(self):
+        sink = TraceSink()
+        with trace.tracing(sink):
+            with trace.tracing(sink):
+                trace.emit("access", index=0)
+            assert trace.ACTIVE is True  # outer block still live
+        assert sink.emitted == 1  # recorded once, not twice
+
+    def test_nested_capture_feeds_both_sinks(self):
+        outer = TraceSink()
+        with trace.tracing(outer):
+            with trace.capture() as inner:
+                trace.emit("access", index=0)
+        assert outer.emitted == 1
+        assert inner is not None and inner.emitted == 1
+
+    def test_every_and_capacity_restored_after_tracing(self):
+        before = (trace.EVERY, trace.CAPACITY)
+        with trace.tracing(TraceSink(), every=9, capacity=32):
+            assert (trace.EVERY, trace.CAPACITY) == (9, 32)
+        assert (trace.EVERY, trace.CAPACITY) == before
+
+    def test_span_records_wall_clock_fields(self):
+        sink = TraceSink()
+        with trace.tracing(sink):
+            with trace.span("job.test", label="x"):
+                pass
+        (event,) = sink.events
+        assert event["kind"] == "span"
+        assert event["name"] == "job.test"
+        assert event["label"] == "x"
+        assert event["dur_us"] >= 0.0
+
+    def test_absorb_skips_empty_snapshots(self):
+        sink = TraceSink()
+        with trace.tracing(sink):
+            trace.absorb({})
+            trace.absorb({"events": [], "dropped": 0})
+            trace.absorb({"events": [{"kind": "access", "index": 1}]})
+        assert sink.emitted == 1
+
+
+class TestEnergyAttribution:
+    """Eq. 1-6 energy attributed to events sums to the stats total."""
+
+    @pytest.mark.parametrize("every", [1, 7])
+    def test_event_energy_sums_to_stats_total(self, every):
+        run = get_workload("stream").build("tiny", seed=5)
+        sink = TraceSink()
+        with trace.tracing(sink, every=every):
+            sim = replay(CNTCacheConfig(), run.trace, run.preloads)
+        total = math.fsum(
+            fj
+            for event in sink.events
+            if event["kind"] in trace.CANONICAL_KINDS
+            for fj in event.get("energy", {}).values()
+        )
+        assert total == pytest.approx(sim.stats.total_fj, abs=1e-6)
+        kinds = {event["kind"] for event in sink.events}
+        assert "access" in kinds and "finalize" in kinds
+
+    def test_sampling_stride_thins_access_events(self):
+        run = get_workload("stream").build("tiny", seed=5)
+        dense, sparse = TraceSink(), TraceSink()
+        with trace.tracing(dense, every=1):
+            replay(CNTCacheConfig(), run.trace, run.preloads)
+        with trace.tracing(sparse, every=10):
+            replay(CNTCacheConfig(), run.trace, run.preloads)
+        n_dense = sum(1 for e in dense.events if e["kind"] == "access")
+        n_sparse = sum(1 for e in sparse.events if e["kind"] == "access")
+        assert n_sparse == -(-n_dense // 10)  # every 10th, including index 0
+
+    def test_access_events_carry_no_wall_clock(self):
+        run = get_workload("stream").build("tiny", seed=5)
+        sink = TraceSink()
+        with trace.tracing(sink):
+            replay(CNTCacheConfig(), run.trace, run.preloads)
+        for event in sink.events:
+            if event["kind"] in trace.CANONICAL_KINDS:
+                assert "ts_us" not in event and "dur_us" not in event
+
+
+class TestDeterminism:
+    """Serial and worker-pool runs trace identical access events."""
+
+    def test_serial_equals_parallel_at_full_sampling(self):
+        from repro.exec import ExecEngine
+        from repro.exec.job import workload_job
+
+        jobs = [
+            workload_job(CNTCacheConfig(scheme=scheme), name, "tiny", 3)
+            for scheme in ("cnt", "baseline")
+            for name in ("stream", "crc32")
+        ]
+
+        def run(n_jobs):
+            sink = TraceSink()
+            engine = ExecEngine(jobs=n_jobs)
+            with trace.tracing(sink, every=1):
+                results = engine.run_jobs(jobs)
+            assert all(result.trace for result in results)
+            return [result.trace for result in results]
+
+        serial = canonical_access_events(run(1))
+        parallel = canonical_access_events(run(4))
+        assert serial  # non-vacuous: events were actually traced
+        assert serial == parallel
+
+    def test_per_job_snapshots_are_tagged_for_export(self):
+        from repro.exec import ExecEngine
+        from repro.exec.job import workload_job
+
+        job = workload_job(CNTCacheConfig(), "stream", "tiny", 3)
+        sink = TraceSink()
+        with trace.tracing(sink, every=4):
+            (result,) = ExecEngine().run_jobs([job])
+        snapshot = result.trace
+        assert snapshot["schema"] == trace.TRACE_SCHEMA
+        assert snapshot["label"] == job.label
+        assert snapshot["job_kind"] == "workload"
+        assert snapshot["workload"] == "stream"
+        assert snapshot["fingerprint"] == job.fingerprint
+        assert snapshot["scheme"] == "cnt"
+        names = {
+            event.get("name")
+            for event in snapshot["events"]
+            if event["kind"] == "span"
+        }
+        assert "job.workload" in names
+
+
+class TestCanonical:
+    def test_sorted_by_fingerprint_then_index_spans_excluded(self):
+        traces = [
+            {
+                "fingerprint": "bb",
+                "events": [
+                    {"kind": "span", "name": "job.x", "ts_us": 1.0},
+                    {"kind": "access", "index": 1},
+                    {"kind": "access", "index": 0},
+                ],
+            },
+            {"fingerprint": "aa", "events": [{"kind": "finalize", "index": 2}]},
+            {},
+        ]
+        lines = canonical_access_events(traces)
+        assert [json.loads(line)["index"] for line in lines] == [2, 0, 1]
+        assert all(json.loads(line)["kind"] != "span" for line in lines)
+
+
+class TestExporters:
+    TRACES = [
+        {
+            "label": "workload:stream/cnt",
+            "job_kind": "workload",
+            "workload": "stream",
+            "fingerprint": "ff",
+            "scheme": "cnt",
+            "dropped": 0,
+            "events": [
+                {
+                    "kind": "access", "index": 0, "set": 1, "way": 0,
+                    "hit": False, "write": True, "every": 2,
+                    "energy": {"data_write_fj": 10.0, "logic_fj": 0.5},
+                },
+                {"kind": "span", "name": "job.workload",
+                 "ts_us": 5.0, "dur_us": 100.0},
+                {"kind": "finalize", "index": 4,
+                 "energy": {"reencode_fj": 2.0}},
+            ],
+        }
+    ]
+
+    def test_chrome_trace_shape(self):
+        doc = chrome_trace(self.TRACES)
+        events = doc["traceEvents"]
+        json.dumps(doc)  # loadable JSON object format
+        meta, access, span, final = events
+        assert meta["ph"] == "M" and meta["args"]["name"] == self.TRACES[0]["label"]
+        assert access["ph"] == "X" and access["name"] == "write miss"
+        assert access["ts"] == 0.0 and access["dur"] == 2.0
+        assert span["ph"] == "X" and span["dur"] == 100.0
+        assert final["ph"] == "i" and final["name"] == "finalize"
+
+    def test_collapsed_stacks_energy_lines(self):
+        lines = collapsed_stacks(self.TRACES)
+        assert "workload:stream" not in lines  # stacks, not labels
+        assert f"stream;l1;cnt;data_write_fj {10 * 1000}" in lines
+        assert f"stream;l1;cnt;reencode_fj {2 * 1000}" in lines
+        assert f"stream;l1;cnt;logic_fj {500}" in lines
+        assert lines == sorted(lines)
+
+    def test_empty_traces_export_cleanly(self):
+        assert chrome_trace([]) == {"traceEvents": [], "displayTimeUnit": "ms"}
+        assert collapsed_stacks([{}]) == []
