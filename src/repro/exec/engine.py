@@ -594,7 +594,9 @@ class ExecEngine:
         """
         if self.cache_dir is None or not self.cache_dir.is_dir():
             return
-        cutoff = time.time() - STALE_TMP_TTL_S
+        # Wall clock by necessity: tmp staleness is judged against file
+        # mtimes, which are wall-clock stamps.  Never feeds results.
+        cutoff = time.time() - STALE_TMP_TTL_S  # lint: disable=D001
         for tmp in self.cache_dir.glob("*/*.tmp.*"):
             try:
                 if tmp.stat().st_mtime < cutoff:

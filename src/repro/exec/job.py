@@ -41,12 +41,14 @@ from functools import cached_property, lru_cache
 from pathlib import Path
 
 from repro.core.config import CNTCacheConfig
+from repro.schemas import EXEC
 from repro.workloads.program import SIZES
 
-#: Version tag of the engine's job/result contract.  Bump when the payload
-#: layout or the meaning of a job kind changes; every cached result keyed
-#: under the old tag becomes unreadable (a cache miss, never a wrong read).
-ENGINE_SCHEMA = "exec-v3"  # v3: result payloads carry a "trace" snapshot
+#: Version tag of the engine's job/result contract.  Bump the version in
+#: :mod:`repro.schemas` when the payload layout or the meaning of a job
+#: kind changes; every cached result keyed under the old tag becomes
+#: unreadable (a cache miss, never a wrong read).
+ENGINE_SCHEMA = EXEC.tag  # exec-v3: result payloads carry a "trace" snapshot
 
 #: The kinds of work a job can describe.
 #:
@@ -112,37 +114,96 @@ def normalize_config(config: CNTCacheConfig) -> CNTCacheConfig:
     return config.variant(**changes) if changes else config
 
 
+#: Packages whose every module can change simulation *semantics* — the
+#: simulator core, cache substrate, codecs, predictor, device models,
+#: trace machinery, workloads and analysis.  Hashed in this order.
+FINGERPRINT_PACKAGES = (
+    "analysis",
+    "cache",
+    "cnfet",
+    "core",
+    "encoding",
+    "predictor",
+    "trace",
+    "workloads",
+)
+
+#: Individual semantics-bearing modules outside those packages: the
+#: public facade (``api.py`` constructs the simulator), the harness
+#: compute modules jobs dispatch to and the exec worker itself.
+#: Repo-relative to ``src/repro``, hashed in this order.
+FINGERPRINT_MODULES = (
+    "api.py",
+    "harness/oracle.py",
+    "harness/multilevel.py",
+    "harness/runner.py",
+    "exec/worker.py",
+)
+
+#: Roots of the lint fingerprint-coverage check (rule S002): every module
+#: transitively importable from these packages at module level must be
+#: fingerprinted or exempt, else editing it could change cached results
+#: without invalidating them (a stale-cache hazard).
+FINGERPRINT_ROOTS = ("repro.cache", "repro.encoding", "repro.cnfet")
+
+#: Module-name prefixes exempt from the coverage check.  ``repro.obs``
+#: is the zero-cost observability switchboard the simulation substrate
+#: publishes into: by contract it never feeds values *back* into
+#: simulation state, so its code cannot change an ``EnergyStats``
+#: result (the <5% disabled-probe overhead bound and the serial ==
+#: parallel counter-determinism tests pin that contract).  ``repro.faults``
+#: only injects *transient* failures that the engine heals byte-identically
+#: (the PR-4 chaos gate).
+FINGERPRINT_EXEMPT = ("repro.obs", "repro.faults")
+
+
+def fingerprint_sources(root: Path | None = None) -> list[Path]:
+    """Every source file hashed into :func:`code_fingerprint`, in order.
+
+    ``root`` defaults to the installed ``src/repro`` directory; the lint
+    fingerprint-coverage rule passes the tree it is analyzing.
+    """
+    root = Path(__file__).resolve().parents[1] if root is None else root
+    parts: list[Path] = []
+    for package in FINGERPRINT_PACKAGES:
+        parts.extend(sorted((root / package).rglob("*.py")))
+    for name in FINGERPRINT_MODULES:
+        parts.append(root.joinpath(*name.split("/")))
+    return parts
+
+
+def fingerprint_module_names(root: Path | None = None) -> frozenset[str]:
+    """Dotted module names of every fingerprinted source file.
+
+    The set the lint determinism/coverage rules treat as "simulation
+    semantics": ``repro.cache.cache``, ``repro.api``, ... including the
+    package modules themselves (``repro.cache`` for ``__init__.py``).
+    """
+    root = Path(__file__).resolve().parents[1] if root is None else root
+    names = set()
+    for path in fingerprint_sources(root):
+        relative = path.relative_to(root).with_suffix("")
+        parts = ("repro", *relative.parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        names.add(".".join(parts))
+    return frozenset(names)
+
+
 @lru_cache(maxsize=1)
 def code_fingerprint() -> str:
     """SHA-256 over every source file that affects simulation results.
 
-    Covers the simulator core, cache substrate, codecs, predictor, device
-    models, trace machinery, workloads, analysis, the harness compute
-    modules jobs dispatch to (oracle, multilevel, runner), the public
-    facade (``api.py``, which constructs the simulator) and the exec
-    worker.  Cached per process — the sources of a running interpreter
-    don't change.
+    Covers :data:`FINGERPRINT_PACKAGES` and :data:`FINGERPRINT_MODULES`;
+    harness/rendering code is deliberately excluded — editing an
+    experiment's table layout must *not* force a re-simulation.  Lint
+    rule S002 statically verifies the list stays transitively closed
+    over imports (see docs/STATIC_ANALYSIS.md).  Cached per process —
+    the sources of a running interpreter don't change.
     """
-    root = Path(__file__).resolve().parents[1]  # src/repro
-    parts: list[Path] = []
-    for package in (
-        "analysis",
-        "cache",
-        "cnfet",
-        "core",
-        "encoding",
-        "predictor",
-        "trace",
-        "workloads",
-    ):
-        parts.extend(sorted((root / package).rglob("*.py")))
-    parts.append(root / "api.py")
-    parts.append(root / "harness" / "oracle.py")
-    parts.append(root / "harness" / "multilevel.py")
-    parts.append(root / "harness" / "runner.py")
-    parts.append(root / "exec" / "worker.py")
     digest = hashlib.sha256()
-    for path in parts:
+    root = Path(__file__).resolve().parents[1]  # src/repro
+    for path in fingerprint_sources(root):
         digest.update(str(path.relative_to(root)).encode())
         digest.update(b"\x00")
         digest.update(path.read_bytes())

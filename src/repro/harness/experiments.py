@@ -23,6 +23,7 @@ Run them all with ``python -m repro.harness.cli all`` or individually, e.g.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -1093,12 +1094,9 @@ def experiment_a9(
     data: dict[str, dict[str, float]] = {}
     for label, _leakage in _a9_models():
         average, _ = _suite_saving(results, label, names)
-        leak_total = 0.0
-        grand_total = 0.0
-        for name in names:
-            stats = results[(label, name, "measured")].stats
-            leak_total += stats.leakage_fj
-            grand_total += stats.total_fj
+        suite = [results[(label, name, "measured")].stats for name in names]
+        leak_total = math.fsum(stats.leakage_fj for stats in suite)
+        grand_total = math.fsum(stats.total_fj for stats in suite)
         static_share = leak_total / grand_total if grand_total else 0.0
         data[label] = {"saving": average, "static_share": static_share}
         rows.append([label, 100 * static_share, 100 * average])

@@ -1,17 +1,24 @@
-"""Domain-specific static analysis for the CNT-Cache reproduction.
+"""Project-wide static analysis for the CNT-Cache reproduction.
 
-Three layers (see docs/STATIC_ANALYSIS.md):
+Layers (see docs/STATIC_ANALYSIS.md for the full rule catalog):
 
-* an AST rule engine (:mod:`repro.lint.engine`) running the project
-  rules R001-R008 of :mod:`repro.lint.rules` — energy-accounting
-  discipline, calibration-constant placement, codec registry coverage,
-  config-validation coverage, general hygiene, execution discipline and
-  error-swallowing discipline;
+* a two-pass AST engine (:mod:`repro.lint.engine`): pass 1 builds a
+  :class:`~repro.lint.project.ProjectIndex` — dotted module names,
+  symbol tables and the resolved import graph — over every linted
+  file; pass 2 dispatches the rules of :mod:`repro.lint.rules`:
+  energy/architecture rules R001-R008, the determinism sanitizer
+  D001-D005 (backed by the reaching-definitions data-flow of
+  :mod:`repro.lint.dataflow`) and the schema-consistency rules
+  S001-S002 (backed by :mod:`repro.schemas` and the import graph);
 * a physics-invariant checker (:mod:`repro.lint.invariants`) that
   statically evaluates every shipped :class:`~repro.cnfet.energy.
   BitEnergyModel` over all process corners and the Vdd sweep range
   (checks P001-P006);
-* CLI wiring: ``cntcache lint`` and ``python -m repro.lint``.
+* gate infrastructure: a ratcheting baseline
+  (:mod:`repro.lint.baseline`), mechanical autofixes
+  (:mod:`repro.lint.fixes`), SARIF output (:mod:`repro.lint.sarif`);
+* CLI wiring: ``cntcache lint`` and ``python -m repro.lint``, with
+  ``--changed`` incremental mode, ``--fix`` and ``--format sarif``.
 """
 
 from repro.lint.engine import (
@@ -24,6 +31,7 @@ from repro.lint.engine import (
     parse_module,
 )
 from repro.lint.findings import Finding, Severity
+from repro.lint.project import ModuleSymbols, ProjectIndex, module_name_for
 from repro.lint.invariants import (
     CMOS_PROFILE,
     CNFET_PROFILE,
@@ -47,6 +55,9 @@ __all__ = [
     "iter_python_files",
     "lint_paths",
     "parse_module",
+    "ModuleSymbols",
+    "ProjectIndex",
+    "module_name_for",
     "RULES",
     "iter_rules",
     "InvariantProfile",

@@ -1,21 +1,42 @@
 """The ``cntcache lint`` / ``python -m repro.lint`` command.
 
-Exit codes: 0 = clean, 1 = findings or physics violations, 2 = usage
-error.  Output is one ``file:line: R00X severity message`` line per
-finding (or JSON with ``--format json``), followed by the physics
-invariant report unless ``--no-invariants`` is given.
+Exit codes: 0 = clean, 1 = findings / physics violations / stale
+baseline entries, 2 = usage error (bad paths, malformed baseline,
+``--changed`` outside a git checkout).  Output is one
+``file:line: R00X severity message`` line per finding, or JSON /
+SARIF 2.1.0 with ``--format``; ``--output`` redirects the report to a
+file (the CI SARIF artifact path).
+
+Modes
+-----
+``--changed [REF]``
+    Incremental: the whole tree is still parsed (project-scope rules
+    need the full import graph) but only findings in files that differ
+    from ``REF`` (default ``HEAD``) or are untracked are reported.
+``--baseline FILE``
+    Ratchet against accepted debt (default: ``lint-baseline.json`` next
+    to the cwd when it exists).  Baselined findings are suppressed; new
+    findings fail; *stale* entries also fail until ``--update-baseline``
+    shrinks the file — debt can only decrease.
+``--fix``
+    Apply the mechanical S001/D005 autofixes first, then lint the
+    rewritten tree.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 
 from repro.lint.engine import LintConfig, LintError, lint_paths
 from repro.lint.findings import Severity
 from repro.lint.rules import iter_rules
+
+#: The baseline picked up implicitly when present in the cwd.
+DEFAULT_BASELINE = "lint-baseline.json"
 
 
 def _default_paths() -> list[str]:
@@ -28,8 +49,9 @@ def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="cntcache lint",
         description=(
-            "CNT-Cache domain lint: energy-accounting rules R001-R008 "
-            "plus the P001-P006 physics-invariant checks"
+            "CNT-Cache project analyzer: energy/architecture rules "
+            "R001-R008, determinism sanitizer D001-D005, schema "
+            "consistency S001-S002, physics invariants P001-P006"
         ),
     )
     parser.add_argument(
@@ -39,14 +61,20 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
     parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
         "--rules",
         default=None,
-        metavar="R001,R002",
+        metavar="R001,D002",
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
@@ -59,7 +87,82 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the registered rules and exit",
     )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help=(
+            "only report findings in files changed vs REF (default HEAD) "
+            "or untracked; the full tree is still indexed"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "ratchet against this baseline file "
+            f"(default: {DEFAULT_BASELINE} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to the current findings and exit",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply mechanical S001/D005 autofixes before linting",
+    )
     return parser
+
+
+def _changed_files(ref: str) -> frozenset[Path]:
+    """Python files that differ from ``ref`` plus untracked ones."""
+    changed: set[Path] = set()
+    for args in (
+        ["git", "diff", "--name-only", "-z", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard", "-z"],
+    ):
+        try:
+            proc = subprocess.run(
+                args, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            detail = getattr(exc, "stderr", "") or str(exc)
+            raise LintError(
+                f"--changed requires a git checkout and a valid ref: "
+                f"{detail.strip()}"
+            ) from exc
+        for token in proc.stdout.split("\0"):
+            if token.endswith(".py"):
+                path = Path(token)
+                if path.is_file():
+                    changed.add(path.resolve())
+    return frozenset(changed)
+
+
+def _baseline_path(args: argparse.Namespace) -> Path | None:
+    if args.no_baseline:
+        if args.baseline is not None or args.update_baseline:
+            raise LintError(
+                "--no-baseline conflicts with --baseline/--update-baseline"
+            )
+        return None
+    if args.baseline is not None:
+        return Path(args.baseline)
+    default = Path(DEFAULT_BASELINE)
+    if default.is_file() or args.update_baseline:
+        return default
+    return None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -78,11 +181,48 @@ def main(argv: list[str] | None = None) -> int:
     )
     paths = args.paths if args.paths else _default_paths()
     try:
-        config = LintConfig(enabled_rules=enabled)
+        baseline_path = _baseline_path(args)
+        restrict = (
+            _changed_files(args.changed) if args.changed is not None else None
+        )
+        config = LintConfig(enabled_rules=enabled, restrict_to=restrict)
+
+        fixed = []
+        if args.fix:
+            from repro.lint.fixes import apply_fixes
+
+            fixed = apply_fixes(paths, config)
+            for fix in fixed:
+                print(fix.format())
+
         findings = lint_paths(paths, config)
     except LintError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.update_baseline:
+        from repro.lint.baseline import write_baseline
+
+        assert baseline_path is not None  # _baseline_path guarantees it
+        count = write_baseline(findings, baseline_path)
+        noun = "entry" if count == 1 else "entries"
+        print(f"lint: baseline {baseline_path} written ({count} {noun})")
+        return 0
+
+    suppressed = 0
+    stale: list = []
+    if baseline_path is not None and baseline_path.is_file():
+        from repro.lint.baseline import apply_baseline, load_baseline
+
+        try:
+            entries = load_baseline(baseline_path)
+        except LintError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        result = apply_baseline(findings, entries)
+        findings = result.new
+        suppressed = result.suppressed
+        stale = result.stale
 
     violations = []
     if not args.no_invariants:
@@ -91,33 +231,66 @@ def main(argv: list[str] | None = None) -> int:
         violations = check_shipped_models()
 
     if args.format == "json":
-        payload = {
-            "findings": [finding.as_dict() for finding in findings],
-            "physics": [
-                {
-                    "code": violation.code,
-                    "context": violation.context,
-                    "message": violation.message,
-                }
-                for violation in violations
-            ],
-        }
-        print(json.dumps(payload, indent=2))
+        report = json.dumps(
+            {
+                "findings": [finding.as_dict() for finding in findings],
+                "physics": [
+                    {
+                        "code": violation.code,
+                        "context": violation.context,
+                        "message": violation.message,
+                    }
+                    for violation in violations
+                ],
+                "baseline": {
+                    "suppressed": suppressed,
+                    "stale": [entry.to_dict() for entry in stale],
+                },
+            },
+            indent=2,
+        )
+    elif args.format == "sarif":
+        from repro.lint.sarif import to_sarif
+
+        report = json.dumps(to_sarif(findings), indent=2)
     else:
-        for finding in findings:
-            print(finding.format())
-        for violation in violations:
-            print(violation.format())
+        lines = [finding.format() for finding in findings]
+        lines.extend(violation.format() for violation in violations)
+        for entry in stale:
+            lines.append(
+                f"{entry.path}: stale baseline entry for {entry.rule} "
+                f"({entry.message!r}); run --update-baseline to shrink "
+                "the baseline"
+            )
         errors = sum(
             1 for finding in findings if finding.severity is Severity.ERROR
         )
-        print(
+        summary = (
             f"lint: {len(findings)} finding(s) ({errors} error(s)), "
             f"{len(violations)} physics violation(s)"
         )
+        if suppressed or stale:
+            stale_noun = "entry" if len(stale) == 1 else "entries"
+            summary += (
+                f", {suppressed} baselined, {len(stale)} stale "
+                f"baseline {stale_noun}"
+            )
+        if args.fix:
+            summary += f", {len(fixed)} autofix(es) applied"
+        lines.append(summary)
+        report = "\n".join(lines)
 
-    failed = violations or any(
-        finding.severity is Severity.ERROR for finding in findings
+    if args.output is not None:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
+
+    failed = (
+        bool(violations)
+        or bool(stale)
+        or any(
+            finding.severity is Severity.ERROR for finding in findings
+        )
     )
     return 1 if failed else 0
 

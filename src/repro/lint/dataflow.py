@@ -1,0 +1,250 @@
+"""Lightweight intra-function data-flow: reaching definitions.
+
+The determinism rules need to answer questions no single-node AST match
+can: *"is the value flowing into this ``json.dumps`` derived from
+iterating a set?"*, *"was this ``+=`` accumulator initialized to a bare
+float literal?"*.  This module provides the minimal machinery for that:
+per-scope reaching definitions with a conservative may-analysis.
+
+Deliberate simplifications (documented so rule behaviour is predictable):
+
+* **May, not must.**  A name's possible values are *every* definition
+  textually preceding the use (all definitions, for uses inside loops,
+  since a later definition reaches the next iteration).  Branches are
+  not pruned — if any branch binds a set, the name may be a set.
+* **One scope level.**  Each function body is its own scope; nested
+  functions and classes are separate scopes.  Comprehension variables
+  are treated as scope-local definitions (close enough for linting).
+* **No interprocedural flow.**  A value returned from a helper is
+  opaque; the rules only taint what they can see locally.  That keeps
+  false positives near zero at the cost of missing laundered taint —
+  the right trade for a gate that must stay inline-suppression-free.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Call targets that build a set (nondeterministic iteration order).
+_SET_BUILDERS = frozenset({"set", "frozenset"})
+
+#: Call targets that build a dict.
+_DICT_BUILDERS = frozenset({"dict"})
+
+#: Dict methods whose result iterates in dict order.
+_DICT_VIEWS = frozenset({"keys", "values", "items"})
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One binding of a name inside a scope."""
+
+    name: str
+    line: int
+    #: The bound value for assignments; the *iterated expression* for
+    #: ``for`` targets and comprehension generators; ``None`` when no
+    #: value is statically visible (parameters, ``with ... as``, etc.).
+    value: ast.expr | None
+    #: ``assign`` / ``augassign`` / ``for`` / ``comp`` / ``opaque``.
+    kind: str
+
+
+def _bind_target(
+    target: ast.expr, value: ast.expr | None, kind: str, line: int
+) -> Iterator[Definition]:
+    """Definitions produced by one assignment target (tuples unpacked)."""
+    if isinstance(target, ast.Name):
+        yield Definition(target.id, line, value, kind)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            # Unpacking loses element identity; bind opaquely.
+            yield from _bind_target(element, None, "opaque", line)
+    elif isinstance(target, ast.Starred):
+        yield from _bind_target(target.value, None, "opaque", line)
+
+
+class ScopeFlow:
+    """Reaching definitions for one scope (module or function body)."""
+
+    def __init__(self, body: list[ast.stmt]) -> None:
+        self.definitions: dict[str, list[Definition]] = {}
+        for statement in body:
+            self._collect(statement)
+
+    # ------------------------------------------------------------------ #
+    # collection
+    # ------------------------------------------------------------------ #
+    def _add(self, definition: Definition) -> None:
+        self.definitions.setdefault(definition.name, []).append(definition)
+
+    def _collect(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._add(Definition(node.name, node.lineno, None, "opaque"))
+            return  # nested scope: don't descend
+        if isinstance(node, ast.ClassDef):
+            self._add(Definition(node.name, node.lineno, None, "opaque"))
+            return
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                for definition in _bind_target(
+                    target, node.value, "assign", node.lineno
+                ):
+                    self._add(definition)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            for definition in _bind_target(
+                node.target, node.value, "assign", node.lineno
+            ):
+                self._add(definition)
+        elif isinstance(node, ast.AugAssign):
+            for definition in _bind_target(
+                node.target, node.value, "augassign", node.lineno
+            ):
+                self._add(definition)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for definition in _bind_target(
+                node.target, node.iter, "for", node.lineno
+            ):
+                self._add(definition)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    for definition in _bind_target(
+                        item.optional_vars, None, "opaque", node.lineno
+                    ):
+                        self._add(definition)
+        # Comprehension generators bind names usable inside the
+        # comprehension; close enough to treat as scope-local.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.comprehension):
+                for definition in _bind_target(
+                    child.target, child.iter, "comp", child.iter.lineno
+                ):
+                    self._add(definition)
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                self._collect(child)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def possible_values(
+        self, name: str, before_line: int | None = None
+    ) -> list[Definition]:
+        """Definitions of ``name`` that may reach a use.
+
+        With ``before_line``, definitions at or before that line; if
+        none precede it (the use sits above every definition — only
+        possible inside a loop), every definition is returned, because
+        a later definition reaches the next iteration.
+        """
+        all_defs = self.definitions.get(name, [])
+        if before_line is None:
+            return list(all_defs)
+        preceding = [d for d in all_defs if d.line <= before_line]
+        return preceding if preceding else list(all_defs)
+
+    def numeric_literal_init(self, name: str, before_line: int) -> Definition | None:
+        """The first plain-numeric-literal binding of ``name``, if any."""
+        for definition in self.possible_values(name, before_line):
+            if (
+                definition.kind == "assign"
+                and isinstance(definition.value, ast.Constant)
+                and isinstance(definition.value.value, (int, float))
+                and not isinstance(definition.value.value, bool)
+            ):
+                return definition
+        return None
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[tuple[ast.AST, ScopeFlow]]:
+    """Every scope in a module with its reaching definitions.
+
+    Yields the module itself first, then each (async) function at any
+    nesting depth.  Class bodies share the module/function scope they
+    appear in for our purposes (their methods are separate scopes).
+    """
+    yield tree, ScopeFlow(tree.body)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, ScopeFlow(node.body)
+
+
+# --------------------------------------------------------------------- #
+# unordered-collection typing (the taint the determinism rules track)
+# --------------------------------------------------------------------- #
+def unordered_kind(
+    expr: ast.expr,
+    flow: ScopeFlow,
+    *,
+    _depth: int = 0,
+    _seen: frozenset[str] = frozenset(),
+) -> str | None:
+    """``"set"``/``"dict"`` if ``expr`` may be an unordered collection.
+
+    Recognises literals (``{1, 2}``), comprehensions, builder calls
+    (``set(...)``, ``frozenset(...)``, ``dict(...)``), dict views
+    (``d.keys()`` where ``d`` may be a dict) and names whose reaching
+    definitions include any of those.  ``None`` means "not provably
+    unordered" — the conservative answer for opaque values.
+
+    Set iteration order varies run-to-run under hash randomisation;
+    dict iteration is insertion-ordered but still encodes construction
+    history, so both taint serialization/hashing sinks (rule D004) —
+    sets as errors, dicts only when fed to hashing without sorting.
+    """
+    if _depth > 8:
+        return None
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(expr, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name):
+            if func.id in _SET_BUILDERS:
+                return "set"
+            if func.id in _DICT_BUILDERS:
+                return "dict"
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _DICT_VIEWS
+            and not expr.args
+        ):
+            inner = unordered_kind(
+                func.value, flow, _depth=_depth + 1, _seen=_seen
+            )
+            if inner == "dict":
+                return "dict"
+        return None
+    if isinstance(expr, ast.BinOp) and isinstance(
+        expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # Set algebra (s | t, s & t, s - t) stays a set.
+        left = unordered_kind(expr.left, flow, _depth=_depth + 1, _seen=_seen)
+        right = unordered_kind(expr.right, flow, _depth=_depth + 1, _seen=_seen)
+        if "set" in (left, right):
+            return "set"
+        return None
+    if isinstance(expr, ast.Name) and expr.id not in _seen:
+        seen = _seen | {expr.id}
+        for definition in flow.possible_values(expr.id, expr.lineno):
+            if definition.value is None or definition.kind == "for":
+                continue
+            kind = unordered_kind(
+                definition.value, flow, _depth=_depth + 1, _seen=seen
+            )
+            if kind is not None:
+                return kind
+    return None
+
+
+__all__ = [
+    "Definition",
+    "ScopeFlow",
+    "iter_scopes",
+    "unordered_kind",
+]

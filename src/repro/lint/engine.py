@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.lint.findings import Finding, Severity
+from repro.lint.project import ProjectIndex
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.lint.rules.base import LintRule
@@ -32,6 +33,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 
 class LintError(ValueError):
     """Raised on invalid lint engine usage (bad paths, unknown rules)."""
+
+
+_RULE_ID_RE = re.compile(r"^[A-Z]\d{3}$")
 
 
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable(?:=(?P<ids>[A-Z0-9,\s]+))?")
@@ -59,19 +63,26 @@ class LintConfig:
         When True the CLI also runs the physics-invariant checker
         (:mod:`repro.lint.invariants`) and reports violations as ``P0xx``
         findings.
+    ``restrict_to``
+        When set (``cntcache lint --changed``), only findings located in
+        these files are reported.  The *whole* tree is still parsed and
+        indexed — project-scope rules need the full import graph — but
+        module-scope rules skip unrestricted files and every surviving
+        finding must sit in the restriction set.
     """
 
     enabled_rules: frozenset[str] | None = None
     honor_skip_file: bool = True
     scope_to_source: bool = True
     check_invariants: bool = True
+    restrict_to: frozenset[Path] | None = None
 
     def __post_init__(self) -> None:
         if self.enabled_rules is not None:
             bad = [
                 rule_id
                 for rule_id in self.enabled_rules
-                if not (rule_id.startswith("R") and rule_id[1:].isdigit())
+                if _RULE_ID_RE.match(rule_id) is None
             ]
             if bad:
                 raise LintError(f"malformed rule ids: {sorted(bad)}")
@@ -81,6 +92,19 @@ class LintConfig:
             raise LintError("scope_to_source must be a bool")
         if not isinstance(self.check_invariants, bool):
             raise LintError("check_invariants must be a bool")
+        if self.restrict_to is not None:
+            object.__setattr__(
+                self,
+                "restrict_to",
+                frozenset(Path(p).resolve() for p in self.restrict_to),
+            )
+
+    def restricts_away(self, path: Path) -> bool:
+        """True if ``restrict_to`` is set and excludes ``path``."""
+        return (
+            self.restrict_to is not None
+            and path.resolve() not in self.restrict_to
+        )
 
 
 @dataclass
@@ -109,6 +133,10 @@ class LintContext:
 
     config: LintConfig
     modules: list[ParsedModule] = field(default_factory=list)
+    #: Pass-1 output: dotted names, symbol tables, resolved import graph.
+    #: Built by :func:`lint_paths` before any rule runs; ``None`` only for
+    #: hand-assembled contexts in unit tests of module-scope rules.
+    project: ProjectIndex | None = None
 
     def modules_in_dir(self, directory: Path) -> list[ParsedModule]:
         """The parsed modules living directly in ``directory``."""
@@ -197,11 +225,19 @@ def _selected_rules(config: LintConfig) -> list["LintRule"]:
 def lint_paths(
     paths: Sequence[Path | str], config: LintConfig | None = None
 ) -> list[Finding]:
-    """Run every selected rule over ``paths``; returns sorted findings."""
+    """Run every selected rule over ``paths``; returns sorted findings.
+
+    Two passes: first every file is parsed and indexed into a
+    :class:`~repro.lint.project.ProjectIndex` (names, symbols, import
+    graph); then rules run — module-scope rules per file, project-scope
+    rules once over the index.
+    """
     config = config if config is not None else LintConfig()
     context = LintContext(config=config)
     findings: list[Finding] = []
+    discovered = 0
     for path in iter_python_files(paths):
+        discovered += 1
         parsed = parse_module(path)
         if isinstance(parsed, Finding):
             findings.append(parsed)
@@ -209,18 +245,34 @@ def lint_paths(
         if config.honor_skip_file and parsed.skip_file:
             continue
         context.modules.append(parsed)
+    if discovered == 0:
+        listing = ", ".join(str(p) for p in paths) or "(no paths)"
+        raise LintError(f"no Python files found under: {listing}")
+
+    context.project = ProjectIndex.build(context.modules)
 
     for rule in _selected_rules(config):
         if rule.scope == "module":
             for module in context.modules:
+                if config.restricts_away(module.path):
+                    continue
                 findings.extend(rule.check_module(module, context))
         else:
             findings.extend(rule.check_project(context))
 
+    restricted_paths = (
+        None
+        if config.restrict_to is None
+        else {str(p) for p in config.restrict_to}
+    )
     kept = [
         finding
         for finding in findings
         if not _finding_suppressed(finding, context)
+        and (
+            restricted_paths is None
+            or str(Path(finding.path).resolve()) in restricted_paths
+        )
     ]
     return sorted(kept, key=lambda finding: finding.sort_key)
 

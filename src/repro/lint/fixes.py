@@ -1,0 +1,308 @@
+"""``cntcache lint --fix``: mechanical autofixes for S001 and D005.
+
+Only rewrites whose correctness is locally provable are attempted:
+
+* **S001** — a string literal that exactly matches a *registered*
+  schema tag is replaced by ``<CONSTANT>.tag`` and
+  ``from repro.schemas import <CONSTANT>`` is added (tag-shaped literals
+  that are not registered are left for a human).
+* **D005** — the narrow, certain shape of the float-accumulation bug:
+  a ``acc = 0.0`` (or ``0``) statement whose *very next sibling* is a
+  ``for`` loop with exactly one body statement ``acc += <expr>``
+  touching ``*_fj`` values collapses into
+  ``acc = math.fsum(<expr> for <target> in <iter>)``, adding
+  ``import math`` if absent.  Anything less clean (work between init
+  and loop, multi-statement bodies) is reported, not rewritten.
+
+Edits are computed from AST positions and applied to the raw source
+bottom-up, so earlier edits never invalidate later positions.  Files
+are re-parsed after fixing; a file the fixer cannot round-trip through
+``ast.parse`` is restored untouched (defensive — the edits are
+position-exact).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.engine import LintConfig, iter_python_files, parse_module
+from repro.lint.findings import Finding
+from repro.lint.rules.schema_rules import _TAG_RE, _docstring_positions
+
+
+@dataclass(frozen=True)
+class AppliedFix:
+    """One rewrite the fixer performed."""
+
+    path: str
+    line: int
+    rule_id: str
+    description: str
+
+    def format(self) -> str:
+        """One-line report of the rewrite, mirroring finding output."""
+        return (
+            f"{self.path}:{self.line}: fixed {self.rule_id} "
+            f"— {self.description}"
+        )
+
+
+@dataclass(frozen=True)
+class _SpanEdit:
+    """Replace ``[col, end_col)`` on a single line (0-based cols)."""
+
+    line: int
+    col: int
+    end_col: int
+    text: str
+
+
+@dataclass(frozen=True)
+class _BlockEdit:
+    """Replace whole lines ``[first, last]`` (1-based, inclusive)."""
+
+    first: int
+    last: int
+    lines: list[str]
+
+
+def _has_toplevel_binding(tree: ast.Module, statement: str) -> bool:
+    """True when a *top-level* import already provides ``statement``.
+
+    A function-nested ``import math`` does not count: the fsum rewrite
+    lives at whatever scope the loop was in, and only a module-level
+    import is guaranteed to be visible there.
+    """
+    if statement.startswith("from "):
+        module, name = statement.removeprefix("from ").split(" import ")
+        return any(
+            isinstance(node, ast.ImportFrom)
+            and node.module == module
+            and node.level == 0
+            and any(alias.name == name for alias in node.names)
+            for node in tree.body
+        )
+    name = statement.removeprefix("import ")
+    return any(
+        isinstance(node, ast.Import)
+        and any(alias.name == name for alias in node.names)
+        for node in tree.body
+    )
+
+
+def _insert_import(lines: list[str], tree: ast.Module, statement: str) -> None:
+    """Add ``statement`` after the last top-level import."""
+    last_import = 0
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            last_import = max(last_import, node.end_lineno or node.lineno)
+    if last_import == 0:
+        # No imports yet: place after the module docstring, if any.
+        if (
+            tree.body
+            and isinstance(tree.body[0], ast.Expr)
+            and isinstance(tree.body[0].value, ast.Constant)
+        ):
+            last_import = tree.body[0].end_lineno or tree.body[0].lineno
+    lines.insert(last_import, statement)
+
+
+def _tag_literal_fixes(
+    tree: ast.Module, path: str
+) -> tuple[list[_SpanEdit], list[str], list[AppliedFix]]:
+    """S001 span edits + needed registry constants."""
+    from repro.schemas import CONSTANT_BY_TAG
+
+    docstrings = _docstring_positions(tree)
+    edits: list[_SpanEdit] = []
+    constants: list[str] = []
+    applied: list[AppliedFix] = []
+    for node in ast.walk(tree):
+        if (
+            not isinstance(node, ast.Constant)
+            or not isinstance(node.value, str)
+            or id(node) in docstrings
+            or _TAG_RE.match(node.value) is None
+            or node.value not in CONSTANT_BY_TAG
+            or node.end_lineno != node.lineno
+            or node.end_col_offset is None
+        ):
+            continue
+        constant = CONSTANT_BY_TAG[node.value]
+        edits.append(
+            _SpanEdit(
+                line=node.lineno,
+                col=node.col_offset,
+                end_col=node.end_col_offset,
+                text=f"{constant}.tag",
+            )
+        )
+        constants.append(constant)
+        applied.append(
+            AppliedFix(
+                path=path,
+                line=node.lineno,
+                rule_id="S001",
+                description=(
+                    f"'{node.value}' -> repro.schemas.{constant}.tag"
+                ),
+            )
+        )
+    return edits, constants, applied
+
+
+def _touches_fj(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute) and child.attr.endswith("_fj"):
+            return True
+        if isinstance(child, ast.Name) and child.id.endswith("_fj"):
+            return True
+    return False
+
+
+def _fsum_candidates(
+    body: list[ast.stmt],
+) -> list[tuple[ast.Assign, ast.For]]:
+    """Adjacent ``acc = 0.0`` / ``for ...: acc += fj_expr`` pairs."""
+    pairs: list[tuple[ast.Assign, ast.For]] = []
+    for init, loop in zip(body, body[1:]):
+        if not (
+            isinstance(init, ast.Assign)
+            and len(init.targets) == 1
+            and isinstance(init.targets[0], ast.Name)
+            and isinstance(init.value, ast.Constant)
+            and isinstance(init.value.value, (int, float))
+            and not isinstance(init.value.value, bool)
+            and isinstance(loop, ast.For)
+            and loop.orelse == []
+            and len(loop.body) == 1
+        ):
+            continue
+        step = loop.body[0]
+        if (
+            isinstance(step, ast.AugAssign)
+            and isinstance(step.op, ast.Add)
+            and isinstance(step.target, ast.Name)
+            and step.target.id == init.targets[0].id
+            and (_touches_fj(step.value) or step.target.id.endswith("_fj"))
+        ):
+            pairs.append((init, loop))
+    return pairs
+
+
+def _fsum_fixes(
+    tree: ast.Module, source_lines: list[str], path: str
+) -> tuple[list[_BlockEdit], list[AppliedFix]]:
+    """D005 block edits: init+loop pairs rewritten through math.fsum."""
+    edits: list[_BlockEdit] = []
+    applied: list[AppliedFix] = []
+    for node in ast.walk(tree):
+        body = getattr(node, "body", None)
+        if not isinstance(body, list):
+            continue
+        for init, loop in _fsum_candidates(body):
+            step = loop.body[0]
+            assert isinstance(step, ast.AugAssign)  # per _fsum_candidates
+            accumulator = ast.unparse(init.targets[0])
+            expr = ast.unparse(step.value)
+            target = ast.unparse(loop.target)
+            iterable = ast.unparse(loop.iter)
+            indent = source_lines[init.lineno - 1][: init.col_offset]
+            replacement = (
+                f"{indent}{accumulator} = math.fsum("
+                f"{expr} for {target} in {iterable})"
+            )
+            last = loop.end_lineno or loop.lineno
+            edits.append(
+                _BlockEdit(first=init.lineno, last=last, lines=[replacement])
+            )
+            applied.append(
+                AppliedFix(
+                    path=path,
+                    line=init.lineno,
+                    rule_id="D005",
+                    description=(
+                        f"'{accumulator} += ...' loop -> math.fsum(...)"
+                    ),
+                )
+            )
+    return edits, applied
+
+
+def _apply_edits(
+    source: str,
+    tree: ast.Module,
+    spans: list[_SpanEdit],
+    blocks: list[_BlockEdit],
+    imports: list[str],
+) -> str:
+    lines = source.splitlines()
+    # Spans first (they never cross block boundaries in our fix set),
+    # right-to-left within each line so columns stay valid.
+    for edit in sorted(spans, key=lambda e: (e.line, e.col), reverse=True):
+        line = lines[edit.line - 1]
+        lines[edit.line - 1] = (
+            line[: edit.col] + edit.text + line[edit.end_col :]
+        )
+    for edit in sorted(blocks, key=lambda e: e.first, reverse=True):
+        lines[edit.first - 1 : edit.last] = edit.lines
+    for statement in imports:
+        _insert_import(lines, tree, statement)
+    trailing = "\n" if source.endswith("\n") else ""
+    return "\n".join(lines) + trailing
+
+
+def apply_fixes(
+    paths: list[Path | str], config: LintConfig | None = None
+) -> list[AppliedFix]:
+    """Rewrite every fixable S001/D005 site under ``paths``.
+
+    Returns the applied fixes (empty when nothing matched).  Honors the
+    same discovery rules as linting, including ``# lint: skip-file``.
+    """
+    config = config if config is not None else LintConfig()
+    applied: list[AppliedFix] = []
+    for path in iter_python_files(paths):
+        parsed = parse_module(path)
+        if isinstance(parsed, Finding):
+            continue  # syntax errors are the linter's to report
+        if config.honor_skip_file and parsed.skip_file:
+            continue
+        spans, constants, span_fixes = _tag_literal_fixes(
+            parsed.tree, parsed.display_path
+        )
+        source_lines = parsed.source.splitlines()
+        blocks, block_fixes = _fsum_fixes(
+            parsed.tree, source_lines, parsed.display_path
+        )
+        if not spans and not blocks:
+            continue
+        imports = sorted(
+            {
+                f"from repro.schemas import {constant}"
+                for constant in constants
+            }
+        )
+        if blocks:
+            imports.append("import math")
+        imports = [
+            statement
+            for statement in imports
+            if not _has_toplevel_binding(parsed.tree, statement)
+        ]
+        fixed = _apply_edits(
+            parsed.source, parsed.tree, spans, blocks, imports
+        )
+        try:
+            ast.parse(fixed, filename=parsed.display_path)
+        except SyntaxError:  # pragma: no cover - edits are position-exact
+            continue
+        path.write_text(fixed, encoding="utf-8")
+        applied.extend(span_fixes)
+        applied.extend(block_fixes)
+    return sorted(applied, key=lambda fix: (fix.path, fix.line))
+
+
+__all__ = ["AppliedFix", "apply_fixes"]

@@ -6,12 +6,23 @@ from collections.abc import Iterator
 
 from repro.lint.rules.base import LintRule
 from repro.lint.rules.configs import ConfigValidationRule
+from repro.lint.rules.determinism import (
+    EnvironReadRule,
+    FloatAccumulationRule,
+    UnorderedSerializationRule,
+    UnseededRandomRule,
+    WallClockRule,
+)
 from repro.lint.rules.energy import EnergyAccumulationRule, EnergyLiteralRule
 from repro.lint.rules.execution import DirectSimulationRule
 from repro.lint.rules.exports import CodecRegistrationRule
 from repro.lint.rules.hygiene import HygieneRule
 from repro.lint.rules.metrics import MetricNameRule
 from repro.lint.rules.resilience import ErrorSwallowRule
+from repro.lint.rules.schema_rules import (
+    FingerprintCoverageRule,
+    SchemaTagLiteralRule,
+)
 
 #: Every registered rule, keyed by id.
 RULES: dict[str, LintRule] = {
@@ -25,6 +36,13 @@ RULES: dict[str, LintRule] = {
         DirectSimulationRule(),
         ErrorSwallowRule(),
         MetricNameRule(),
+        WallClockRule(),
+        UnseededRandomRule(),
+        EnvironReadRule(),
+        UnorderedSerializationRule(),
+        FloatAccumulationRule(),
+        SchemaTagLiteralRule(),
+        FingerprintCoverageRule(),
     )
 }
 
@@ -44,7 +62,14 @@ __all__ = [
     "CodecRegistrationRule",
     "ConfigValidationRule",
     "DirectSimulationRule",
+    "EnvironReadRule",
     "ErrorSwallowRule",
+    "FingerprintCoverageRule",
+    "FloatAccumulationRule",
     "HygieneRule",
     "MetricNameRule",
+    "SchemaTagLiteralRule",
+    "UnorderedSerializationRule",
+    "UnseededRandomRule",
+    "WallClockRule",
 ]

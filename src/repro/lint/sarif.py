@@ -1,0 +1,72 @@
+"""SARIF 2.1.0 serialization of lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the vendor-neutral
+JSON layout code-review UIs ingest — GitHub renders uploaded SARIF as
+inline PR annotations.  Only the small stable core of the spec is
+emitted: one run, one tool, one result per finding with a physical
+location.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import iter_rules
+
+#: SARIF severity levels by lint severity.
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def to_sarif(findings: list[Finding]) -> dict[str, Any]:
+    """The SARIF 2.1.0 document for ``findings`` (JSON-ready dict)."""
+    rules = [
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+        }
+        for rule in iter_rules()
+    ]
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "level": _LEVELS[finding.severity],
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {"startLine": max(1, finding.line)},
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "cntcache-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+__all__ = ["to_sarif"]

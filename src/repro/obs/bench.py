@@ -33,8 +33,11 @@ from pathlib import Path
 from statistics import median
 from typing import Callable, Iterable
 
-#: Record format tag; bump when record fields change incompatibly.
-BENCH_SCHEMA = "obs-bench-v1"
+from repro.schemas import BENCH
+
+#: Record format tag; bump the version in :mod:`repro.schemas` when
+#: record fields change incompatibly.
+BENCH_SCHEMA = BENCH.tag
 
 #: Matches trajectory record filenames: ``BENCH_0007.json``.
 _RECORD_RE = re.compile(r"^BENCH_(\d+)\.json$")

@@ -30,9 +30,11 @@ from pathlib import Path
 from typing import Iterable
 
 from repro import faults
+from repro.schemas import MANIFEST
 
-#: Manifest format tag; bump when entry fields change incompatibly.
-MANIFEST_SCHEMA = "obs-manifest-v1"
+#: Manifest format tag; bump the version in :mod:`repro.schemas` when
+#: entry fields change incompatibly.
+MANIFEST_SCHEMA = MANIFEST.tag
 
 
 class ManifestError(ValueError):

@@ -23,9 +23,11 @@ from typing import Callable, Iterable
 
 from repro.obs.manifest import MANIFEST_SCHEMA, ManifestSummary
 from repro.obs.session import Obs
+from repro.schemas import PROFILE
 
-#: Report format tag for the ``--json`` output.
-PROFILE_SCHEMA = "obs-profile-v1"
+#: Report format tag for the ``--json`` output; bump the version in
+#: :mod:`repro.schemas` when report fields change incompatibly.
+PROFILE_SCHEMA = PROFILE.tag
 
 
 class ProfileError(ValueError):

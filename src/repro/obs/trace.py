@@ -45,8 +45,11 @@ from collections import deque
 from contextlib import contextmanager
 from typing import Any, Iterable, Iterator
 
-#: Trace snapshot format tag; bump when event fields change incompatibly.
-TRACE_SCHEMA = "obs-trace-v1"
+from repro.schemas import TRACE
+
+#: Trace snapshot format tag; bump the version in :mod:`repro.schemas`
+#: when event fields change incompatibly.
+TRACE_SCHEMA = TRACE.tag
 
 #: Master switch: trace emission happens iff True.  Hot call sites read
 #: this directly (``if trace.ACTIVE:``) to skip even the function call.

@@ -15,7 +15,7 @@ self-healing behaviour (see docs/RESILIENCE.md):
   selects fail-fast vs keep-going batch semantics;
 * **structured failure records** — :class:`FailureRecord`, the
   JSON-ready shape a failed job leaves behind in keep-going batches and
-  in the ``obs-manifest-v1`` stream.
+  in the run-manifest stream (schema :data:`repro.schemas.MANIFEST`).
 
 Everything here is deterministic: the jitter is a hash of the job
 fingerprint and attempt index, never ``random``, so two runs of the

@@ -1,0 +1,14 @@
+# lint: skip-file
+"""D001 fixture: wall-clock reads; duration clocks are allowed."""
+import time
+from datetime import datetime
+
+
+def stamp():
+    """Lines 9-11 below are the seeded D001 violations."""
+    a = time.time()
+    b = time.time_ns()
+    c = datetime.now()
+    ok = time.perf_counter()
+    ok2 = time.monotonic()
+    return a, b, c, ok, ok2

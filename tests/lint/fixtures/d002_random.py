@@ -1,0 +1,15 @@
+# lint: skip-file
+"""D002 fixture: unseeded randomness; random.Random(seed) is allowed."""
+import os
+import random
+import uuid
+
+
+def draw(seed):
+    """Lines 10-13 below are the seeded D002 violations."""
+    bad_global = random.random()
+    bad_unseeded = random.Random()
+    bad_entropy = os.urandom(8)
+    bad_uuid = uuid.uuid4()
+    rng = random.Random(seed)
+    return bad_global, bad_unseeded, bad_entropy, bad_uuid, rng.randint(0, 9)

@@ -1,0 +1,11 @@
+# lint: skip-file
+"""D003 fixture: ambient environment reads."""
+import os
+
+
+def ambient():
+    """Lines 8-10 below are the seeded D003 violations."""
+    home = os.environ["HOME"]
+    debug = os.environ.get("DEBUG")
+    path = os.getenv("PATH")
+    return home, debug, path

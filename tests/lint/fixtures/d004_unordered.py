@@ -1,0 +1,17 @@
+# lint: skip-file
+"""D004 fixture: unordered collections feeding serialization/hashing."""
+import hashlib
+import json
+
+
+def serialize(extra):
+    """Lines 10, 12 and 14 below are the seeded D004 violations."""
+    tags = {"b", "a"} | extra
+    bad_set = json.dumps(tags)
+    payload = {name: 1 for name in sorted(tags)}
+    bad_dict_hash = hashlib.sha256(payload)
+    for item in tags:
+        bad_loop = json.dumps(item)
+    ordered = json.dumps(sorted(tags))
+    canonical = hashlib.sha256(json.dumps(payload, sort_keys=True).encode())
+    return bad_set, bad_dict_hash, bad_loop, ordered, canonical

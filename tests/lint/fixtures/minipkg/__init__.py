@@ -1,0 +1,2 @@
+# lint: skip-file
+"""Synthetic mini-package for the S002 fingerprint-coverage tests."""

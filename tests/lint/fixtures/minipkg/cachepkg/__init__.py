@@ -1,0 +1,5 @@
+# lint: skip-file
+"""Simulation root of the mini project (plays repro.cache)."""
+from minipkg.cachepkg import core
+
+__all__ = ["core"]

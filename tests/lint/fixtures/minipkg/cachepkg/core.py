@@ -1,0 +1,10 @@
+# lint: skip-file
+"""Core simulation module: imports a covered helper eagerly, a lazy one."""
+from minipkg import helper
+
+
+def simulate(n):
+    """Lazy import below must NOT count as reachability."""
+    from minipkg import lazy
+
+    return helper.assist(n) + lazy.fallback(n)

@@ -1,0 +1,8 @@
+# lint: skip-file
+"""Exempt module: reached but never traversed by the coverage walk."""
+from minipkg import lazy
+
+
+def count(n):
+    """The import of ``lazy`` above must not extend reachability."""
+    return n if lazy else n

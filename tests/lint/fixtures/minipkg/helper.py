@@ -1,0 +1,9 @@
+# lint: skip-file
+"""Covered helper that leaks reachability to an uncovered module."""
+from minipkg import uncovered
+from minipkg.exemptpkg import probes
+
+
+def assist(n):
+    """Uses the uncovered module, so editing it changes results."""
+    return uncovered.twist(n) + probes.count(n)

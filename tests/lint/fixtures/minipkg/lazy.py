@@ -1,0 +1,7 @@
+# lint: skip-file
+"""Only ever imported inside a function body: not eagerly reachable."""
+
+
+def fallback(n):
+    """Still uncovered, but lazy imports do not poison results eagerly."""
+    return n - 1

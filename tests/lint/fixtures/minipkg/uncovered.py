@@ -1,0 +1,7 @@
+# lint: skip-file
+"""Reachable from the root via helper but missing from the covered set."""
+
+
+def twist(n):
+    """Semantics-bearing arithmetic the fingerprint would miss."""
+    return n * 3 + 1

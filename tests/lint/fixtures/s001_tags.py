@@ -1,0 +1,7 @@
+# lint: skip-file
+"""S001 fixture: schema-tag literals (one registered, one unknown)."""
+
+EXEC_TAG = "exec-v3"
+MYSTERY_TAG = "mystery-blob-v7"
+NOT_A_TAG = "not a tag"
+ALSO_FINE = "V2-Thing"

@@ -1,0 +1,98 @@
+"""Baseline ratchet: absorb accepted debt, fail on new or stale entries."""
+
+import json
+
+import pytest
+
+from repro.lint.baseline import (
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import LintError
+from repro.lint.findings import Finding, Severity
+from repro.schemas import BASELINE
+
+
+def finding(path="src/a.py", line=3, rule="D001", message="boom"):
+    return Finding(
+        path=path,
+        line=line,
+        rule_id=rule,
+        severity=Severity.ERROR,
+        message=message,
+    )
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        count = write_baseline([finding(), finding(line=9)], target)
+        # Same (path, rule, message) at two lines collapses to one entry.
+        assert count == 1
+        entries = load_baseline(target)
+        assert entries == [
+            BaselineEntry(path="src/a.py", rule="D001", message="boom")
+        ]
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == BASELINE.tag
+
+    def test_apply_suppresses_matching_findings_line_agnostically(self):
+        entries = [
+            BaselineEntry(path="src/a.py", rule="D001", message="boom")
+        ]
+        result = apply_baseline([finding(line=77)], entries)
+        assert result.new == []
+        assert result.suppressed == 1
+        assert result.stale == []
+
+    def test_new_findings_pass_through(self):
+        entries = [
+            BaselineEntry(path="src/a.py", rule="D001", message="boom")
+        ]
+        fresh = finding(rule="D002", message="other")
+        result = apply_baseline([finding(), fresh], entries)
+        assert result.new == [fresh]
+        assert result.suppressed == 1
+
+    def test_ratchet_reports_stale_entries(self):
+        entries = [
+            BaselineEntry(path="src/a.py", rule="D001", message="boom"),
+            BaselineEntry(path="src/gone.py", rule="S001", message="old"),
+        ]
+        result = apply_baseline([finding()], entries)
+        assert result.stale == [
+            BaselineEntry(path="src/gone.py", rule="S001", message="old")
+        ]
+
+
+class TestValidation:
+    def test_missing_schema_tag_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"entries": []}))
+        with pytest.raises(LintError, match="does not declare schema"):
+            load_baseline(target)
+
+    def test_malformed_json_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text("{nope")
+        with pytest.raises(LintError, match="malformed baseline"):
+            load_baseline(target)
+
+    def test_entry_missing_keys_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(
+            json.dumps(
+                {"schema": BASELINE.tag, "entries": [{"path": "x"}]}
+            )
+        )
+        with pytest.raises(LintError, match="path/rule/message"):
+            load_baseline(target)
+
+    def test_checked_in_baseline_is_valid_and_empty(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        entries = load_baseline(root / "lint-baseline.json")
+        assert entries == []
