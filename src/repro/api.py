@@ -3,9 +3,14 @@
 Everything a consumer (notebook, script, CI job, downstream experiment)
 needs goes through five keyword-only entry points:
 
-* :func:`make_cache` — construct a configured :class:`CNTCache`
-  simulator (the only sanctioned construction site; lint rule R006
-  flags direct ``CNTCache(...)`` calls elsewhere in the package).
+* :func:`make_cache` — construct a configured simulator behind the
+  :class:`~repro.backends.CacheBackend` protocol (the only sanctioned
+  construction site; lint rule R006 flags direct ``CNTCache(...)``
+  calls elsewhere in the package, and direct construction warns).
+  ``backend="scalar"`` (default) is the bit-exact reference
+  interpreter; ``backend="array"`` is the integer-packed engine with
+  identical stats at an order of magnitude higher throughput — see
+  :func:`repro.backends.backends` for the registry.
 * :func:`make_engine` — construct an :class:`~repro.exec.ExecEngine`
   (dedup + disk cache + worker processes + observability).
 * :func:`simulate` — one (workload, config) energy measurement.
@@ -29,7 +34,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from pathlib import Path
 
-    from repro.core.cntcache import CNTCache
+    from repro.backends import CacheBackend
     from repro.core.config import CNTCacheConfig
     from repro.exec import ExecEngine, SimJob
     from repro.harness.runner import RunResult
@@ -41,22 +46,28 @@ __all__ = ["make_cache", "make_engine", "plan", "profile", "simulate"]
 
 
 def make_cache(
-    *, config: "CNTCacheConfig | None" = None, **overrides: Any
-) -> "CNTCache":
+    *,
+    config: "CNTCacheConfig | None" = None,
+    backend: str = "scalar",
+    **overrides: Any,
+) -> "CacheBackend":
     """A configured simulator instance.
 
     ``config`` is used as-is when given; field overrides (``scheme=...``,
     ``size=...``) apply on top of it, or on top of the paper-default
-    config when ``config`` is omitted.
+    config when ``config`` is omitted.  ``backend`` selects the engine
+    from the :func:`repro.backends.backends` registry: ``"scalar"`` is
+    the bit-exact reference interpreter, ``"array"`` the vectorized
+    engine with bit-identical stats (requires numpy).
     """
-    from repro.core.cntcache import CNTCache
+    from repro.backends import make_backend
     from repro.core.config import CNTCacheConfig
 
     if config is None:
         config = CNTCacheConfig(**overrides)
     elif overrides:
         config = config.variant(**overrides)
-    return CNTCache(config)
+    return make_backend(backend, config)
 
 
 def make_engine(
@@ -66,13 +77,16 @@ def make_engine(
     progress: Callable[[str], None] | None = None,
     obs: "Obs | None" = None,
     resilience: "ResilienceConfig | None" = None,
+    backend: str | None = None,
 ) -> "ExecEngine":
     """An execution engine (see :class:`repro.exec.ExecEngine`).
 
     ``resilience`` tunes the fault-tolerance policy (retries, backoff,
     per-job timeouts, keep-going batches — see
     :class:`repro.resilience.ResilienceConfig`); ``None`` means the
-    self-healing defaults.
+    self-healing defaults.  ``backend`` overrides the simulation engine
+    of every job the engine resolves (``None`` respects each job's own
+    selection).
     """
     from repro.exec import ExecEngine
 
@@ -82,6 +96,7 @@ def make_engine(
         progress=progress,
         obs=obs,
         resilience=resilience,
+        backend=backend,
     )
 
 
@@ -93,6 +108,7 @@ def simulate(
     seed: int = 7,
     engine: "ExecEngine | None" = None,
     obs: "Obs | None" = None,
+    backend: str = "scalar",
 ) -> "RunResult":
     """One (workload, config) measurement.
 
@@ -101,7 +117,9 @@ def simulate(
     name/size/seed win).  With an ``engine`` the measurement is declared
     as a job — deduplicated, cacheable, parallelizable; without one it
     replays in-process.  ``obs`` follows the harness-wide convention
-    documented in :mod:`repro.harness.runner`.
+    documented in :mod:`repro.harness.runner`.  ``backend`` selects the
+    simulation engine (bit-identical stats across backends; an engine's
+    own ``backend`` override wins when set).
     """
     from repro.core.config import CNTCacheConfig
     from repro.harness.runner import _run_workload
@@ -121,13 +139,15 @@ def simulate(
         from repro.harness.runner import RunResult
 
         with engine.observing(obs):
-            result = engine.run_job(workload_job(config, name, size, seed))
+            result = engine.run_job(
+                workload_job(config, name, size, seed, backend=backend)
+            )
         return RunResult.from_exec(result, config)
 
     with probe.recording(obs):
         if run is None:
             run = get_workload(name).build(size, seed=seed)
-        return _run_workload(config, run)
+        return _run_workload(config, run, backend=backend)
 
 
 def plan(
@@ -150,8 +170,13 @@ def profile(
     top: int = 10,
     progress: Callable[[str], None] | None = None,
     resilience: "ResilienceConfig | None" = None,
+    backend: str | None = None,
 ) -> "ProfileReport":
-    """Replay experiments with probes on; returns the breakdown report."""
+    """Replay experiments with probes on; returns the breakdown report.
+
+    ``backend`` overrides the simulation engine of every profiled job
+    (``None`` = each job's own selection, i.e. the scalar default).
+    """
     from repro.obs.profile import profile_experiments
 
     return profile_experiments(
@@ -164,4 +189,5 @@ def profile(
         top=top,
         progress=progress,
         resilience=resilience,
+        backend=backend,
     )

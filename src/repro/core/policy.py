@@ -183,6 +183,16 @@ class AdaptivePolicy(EncodingPolicy):
         prefer_ones = self.fill_policy == "read-greedy"
         return self.codec.greedy_directions(logical, prefer_ones=prefer_ones)
 
+    def effective_wr_num(self, wr_num: int) -> int:
+        """The write count actually presented to the threshold table.
+
+        The exact policy is the identity; counter-cheapened variants
+        override this.  Backends that precompute per-``Wr_num`` switch
+        rows (see :mod:`repro.backends.array`) index the table through
+        this mapping so quantisation stays in one place.
+        """
+        return wr_num
+
     def window_outcome(
         self, stored: bytes, directions: DirectionWord, wr_num: int
     ) -> PredictionOutcome | None:
@@ -207,6 +217,9 @@ class QuantizedAdaptivePolicy(AdaptivePolicy):
         bucket = min(4 * wr_num // window, 3)
         # Bucket midpoints: W/8, 3W/8, 5W/8, 7W/8 (rounded).
         return min(round((2 * bucket + 1) * window / 8), window)
+
+    def effective_wr_num(self, wr_num: int) -> int:
+        return self._quantize(wr_num)
 
     def window_outcome(self, stored, directions, wr_num):
         return super().window_outcome(

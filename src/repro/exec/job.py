@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from functools import cached_property, lru_cache
 from pathlib import Path
 
+from repro.backends import backend_names
 from repro.core.config import CNTCacheConfig
 from repro.schemas import EXEC
 from repro.workloads.program import SIZES
@@ -119,6 +120,7 @@ def normalize_config(config: CNTCacheConfig) -> CNTCacheConfig:
 #: trace machinery, workloads and analysis.  Hashed in this order.
 FINGERPRINT_PACKAGES = (
     "analysis",
+    "backends",
     "cache",
     "cnfet",
     "core",
@@ -219,6 +221,12 @@ class SimJob:
     no cache).  ``params`` carries kind-specific extras as a sorted tuple
     of (name, value) pairs — e.g. the L1 geometry of an ``l2`` job — so
     the job stays hashable and its canonical JSON stays stable.
+
+    ``backend`` names the simulation engine (see
+    :func:`repro.backends.backends`).  Backends are differential-tested
+    bit-identical, but the field still enters the job identity: a cached
+    result honestly records which engine produced it, and a backend bug
+    can never masquerade as the oracle's output.
     """
 
     kind: str
@@ -227,10 +235,15 @@ class SimJob:
     seed: int
     config: CNTCacheConfig | None = None
     params: tuple[tuple[str, int], ...] = field(default=())
+    backend: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
             raise JobError(f"unknown job kind {self.kind!r}; known: {JOB_KINDS}")
+        if self.backend not in backend_names():
+            raise JobError(
+                f"unknown backend {self.backend!r}; known: {backend_names()}"
+            )
         if not self.workload or not isinstance(self.workload, str):
             raise JobError(f"workload must be a non-empty string, got {self.workload!r}")
         if self.size not in SIZES:
@@ -265,6 +278,7 @@ class SimJob:
             "seed": self.seed,
             "config": None if self.config is None else self.config.to_dict(),
             "params": [list(pair) for pair in self.params],
+            "backend": self.backend,
         }
 
     @cached_property
@@ -279,8 +293,10 @@ class SimJob:
     def label(self) -> str:
         """Short human label for progress lines and logs."""
         scheme = self.config.scheme if self.config is not None else "-"
+        suffix = "" if self.backend == "scalar" else f"@{self.backend}"
         return (
             f"{self.kind}:{self.workload}/{self.size}/s{self.seed}/{scheme}"
+            f"{suffix}"
         )
 
 
@@ -288,10 +304,17 @@ class SimJob:
 # constructors (the sanctioned way to build jobs — they normalize)
 # --------------------------------------------------------------------- #
 def workload_job(
-    config: CNTCacheConfig, workload: str, size: str, seed: int
+    config: CNTCacheConfig,
+    workload: str,
+    size: str,
+    seed: int,
+    backend: str = "scalar",
 ) -> SimJob:
-    """A full CNTCache replay of one workload under one config."""
-    return SimJob("workload", workload, size, seed, normalize_config(config))
+    """A full simulator replay of one workload under one config."""
+    return SimJob(
+        "workload", workload, size, seed, normalize_config(config),
+        backend=backend,
+    )
 
 
 def oracle_job(
@@ -323,6 +346,7 @@ def l2_job(
     l1_size: int = 8 * 1024,
     l1_assoc: int = 2,
     l1_line_size: int = 64,
+    backend: str = "scalar",
 ) -> SimJob:
     """Replay the L1-filtered stream of a workload through ``config`` (F11)."""
     return SimJob(
@@ -336,18 +360,26 @@ def l2_job(
             ("l1_line_size", l1_line_size),
             ("l1_size", l1_size),
         ),
+        backend=backend,
     )
 
 
 def audit_job(
-    config: CNTCacheConfig, workload: str, size: str, seed: int
+    config: CNTCacheConfig,
+    workload: str,
+    size: str,
+    seed: int,
+    backend: str = "scalar",
 ) -> SimJob:
     """Hindsight-audit Algorithm 1's window decisions on one workload (A5)."""
     if not config.uses_predictor:
         raise JobError(
             f"scheme {config.scheme!r} runs no predictor to audit"
         )
-    return SimJob("audit", workload, size, seed, normalize_config(config))
+    return SimJob(
+        "audit", workload, size, seed, normalize_config(config),
+        backend=backend,
+    )
 
 
 def trace_job(workload: str, size: str, seed: int) -> SimJob:

@@ -70,7 +70,7 @@ def _execute_workload(job: SimJob) -> ExecResult:
 
     run = build_run(job.workload, job.size, job.seed)
     assert job.config is not None
-    sim = replay(job.config, run.trace, run.preloads)
+    sim = replay(job.config, run.trace, run.preloads, backend=job.backend)
     return ExecResult(
         job=job,
         stats=sim.stats,
@@ -118,7 +118,7 @@ def _execute_l2(job: SimJob) -> ExecResult:
     }
     if not stream:
         return ExecResult(job=job, stats=None, values=values)
-    sim = replay(job.config, stream, run.preloads)
+    sim = replay(job.config, stream, run.preloads, backend=job.backend)
     return ExecResult(job=job, stats=sim.stats, values=values)
 
 
@@ -129,7 +129,9 @@ def _execute_audit(job: SimJob) -> ExecResult:
     run = build_run(job.workload, job.size, job.seed)
     assert job.config is not None
     audit = audit_predictions(
-        make_cache(config=job.config), run.trace, run.preloads
+        make_cache(config=job.config, backend=job.backend),
+        run.trace,
+        run.preloads,
     )
     values = {
         name: value

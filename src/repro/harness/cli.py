@@ -47,6 +47,24 @@ from repro.workloads.program import workload_names
 SIZE_CHOICES = ("tiny", "small", "default", "smoke")
 SIZE_ALIASES = {"smoke": "tiny"}
 
+#: Simulation backends selectable from the command line (see
+#: :func:`repro.backends.backends`; stats are bit-identical across them).
+BACKEND_CHOICES = ("scalar", "array")
+
+
+def _backend_usable(backend: str | None) -> str | None:
+    """``None`` when ``backend`` can run here, else the error message."""
+    if backend != "array":
+        return None
+    from repro.backends import array_available
+
+    if array_available():
+        return None
+    return (
+        "backend 'array' requires numpy (pip install repro[array]); "
+        "the scalar backend needs no extras"
+    )
+
 
 def write_report(
     path: str | Path, size: str, seed: int, engine: ExecEngine | None = None
@@ -123,6 +141,13 @@ def _trace_main(argv: list[str]) -> int:
         help="worker processes (default: 1 = in-process)",
     )
     parser.add_argument(
+        "--backend", default="scalar", choices=BACKEND_CHOICES,
+        help=(
+            "simulation backend (default: scalar; the array backend "
+            "emits one summary event per job, not per-access events)"
+        ),
+    )
+    parser.add_argument(
         "--trace-every", type=int, default=1, metavar="N",
         help="emit one access event per N demand accesses (default: 1)",
     )
@@ -149,6 +174,10 @@ def _trace_main(argv: list[str]) -> int:
     )
     args = parser.parse_args(argv)
     size = SIZE_ALIASES.get(args.size, args.size)
+    problem = _backend_usable(args.backend)
+    if problem is not None:
+        print(problem, file=sys.stderr)
+        return 2
     workloads = args.workloads or ["stream"]
     schemes = args.schemes or ["cnt"]
     known = set(workload_names())
@@ -163,7 +192,7 @@ def _trace_main(argv: list[str]) -> int:
         print(str(error), file=sys.stderr)
         return 2
     jobs = [
-        workload_job(config, name, size, args.seed)
+        workload_job(config, name, size, args.seed, backend=args.backend)
         for config in configs
         for name in workloads
     ]
@@ -218,6 +247,14 @@ def _bench_main(argv: list[str]) -> int:
         help="worker processes for the parallel metric (default: 2)",
     )
     parser.add_argument(
+        "--backend", default=None, choices=BACKEND_CHOICES,
+        help=(
+            "restrict the suite to one backend: scalar skips the array "
+            "metrics, array errors when numpy is missing "
+            "(default: measure both when numpy is importable)"
+        ),
+    )
+    parser.add_argument(
         "--bench-dir", default="benchmarks/trajectory", metavar="DIR",
         help=(
             "trajectory directory holding BENCH_<n>.json records "
@@ -240,7 +277,11 @@ def _bench_main(argv: list[str]) -> int:
     progress = (lambda line: print(line, flush=True)) if args.progress else None
     try:
         metrics = bench_module.collect(
-            size=size, seed=args.seed, jobs=args.jobs, progress=progress
+            size=size,
+            seed=args.seed,
+            jobs=args.jobs,
+            progress=progress,
+            backend=args.backend,
         )
         record = bench_module.make_record(
             metrics,
@@ -319,6 +360,16 @@ def _parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="content-addressed result cache directory (default: off)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=BACKEND_CHOICES,
+        help=(
+            "simulation backend for every job (scalar = bit-exact "
+            "reference, array = vectorized numpy engine with identical "
+            "stats; default: scalar)"
+        ),
     )
     parser.add_argument(
         "--progress",
@@ -404,6 +455,7 @@ def _engine_from(args: argparse.Namespace) -> ExecEngine:
         cache_dir=args.cache_dir,
         progress=progress,
         resilience=_resilience_from(args),
+        backend=args.backend,
     )
 
 
@@ -423,6 +475,10 @@ def main(argv: list[str] | None = None) -> int:
     size = SIZE_ALIASES.get(args.size, args.size)
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    problem = _backend_usable(args.backend)
+    if problem is not None:
+        print(problem, file=sys.stderr)
         return 2
     try:
         resilience = _resilience_from(args)
@@ -471,6 +527,7 @@ def main(argv: list[str] | None = None) -> int:
                 top=args.top,
                 progress=progress,
                 resilience=resilience,
+                backend=args.backend,
             )
         except ProfileError as error:
             print(str(error), file=sys.stderr)

@@ -75,23 +75,30 @@ def replay(
     config: CNTCacheConfig,
     trace: Iterable[Access],
     preloads: Iterable[tuple[int, bytes]] = (),
+    backend: str = "scalar",
 ):
-    """Replay a trace through a fresh cache; returns the simulator."""
+    """Replay a trace through a fresh cache; returns the simulator.
+
+    ``backend`` selects the engine (see :func:`repro.backends.backends`);
+    every backend produces bit-identical :class:`EnergyStats`.
+    """
     from repro.api import make_cache
 
-    sim = make_cache(config=config)
+    sim = make_cache(config=config, backend=backend)
     sim.preload_all(preloads)
     sim.run(trace)
     return sim
 
 
-def _run_workload(config: CNTCacheConfig, run: WorkloadRun) -> RunResult:
+def _run_workload(
+    config: CNTCacheConfig, run: WorkloadRun, backend: str = "scalar"
+) -> RunResult:
     """Replay one workload run through one configuration (internal).
 
     First-party code calls this (or better, :func:`repro.api.simulate`);
     the public :func:`run_workload` name is a deprecation shim around it.
     """
-    sim = replay(config, run.trace, run.preloads)
+    sim = replay(config, run.trace, run.preloads, backend=backend)
     return RunResult(
         workload=run.name,
         scheme=config.scheme,

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+from repro.lint.rules.backends import NumpyConfinementRule
 from repro.lint.rules.base import LintRule
 from repro.lint.rules.configs import ConfigValidationRule
 from repro.lint.rules.determinism import (
@@ -36,6 +37,7 @@ RULES: dict[str, LintRule] = {
         DirectSimulationRule(),
         ErrorSwallowRule(),
         MetricNameRule(),
+        NumpyConfinementRule(),
         WallClockRule(),
         UnseededRandomRule(),
         EnvironReadRule(),
@@ -68,6 +70,7 @@ __all__ = [
     "FloatAccumulationRule",
     "HygieneRule",
     "MetricNameRule",
+    "NumpyConfinementRule",
     "SchemaTagLiteralRule",
     "UnorderedSerializationRule",
     "UnseededRandomRule",

@@ -1,0 +1,87 @@
+"""Backend dependency confinement — rule R009.
+
+The scalar backend is the bit-exact reference and must run on a bare
+Python install; numpy is an optional extra (``pip install repro[array]``)
+that only the vectorized array backend may touch.  A stray
+``import numpy`` anywhere else in the package would silently turn the
+optional dependency into a required one — imports of the facade, the
+exec engine or the scalar simulator would start failing on machines
+without the extra.  This rule keeps every numpy import confined to
+``repro/backends/array.py``; the registry (``repro/backends/__init__.py``)
+stays numpy-free on purpose so :func:`repro.backends.array_available`
+can answer without importing anything heavy.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import LintRule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.lint.engine import LintContext, ParsedModule
+
+#: The optional dependency this rule confines.
+_PACKAGE = "numpy"
+
+#: The one repro module allowed to import it (path suffix match).
+_ALLOWED_SUFFIX = ("backends", "array.py")
+
+
+def _is_confined(module: "ParsedModule") -> bool:
+    """True when ``module`` is the sanctioned numpy import site."""
+    parts = module.path.parts
+    return parts[-2:] == _ALLOWED_SUFFIX
+
+
+def _numpy_imports(tree: ast.Module) -> Iterator[tuple[int, str]]:
+    """(lineno, spelling) of every numpy import in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".", maxsplit=1)[0]
+                if root == _PACKAGE:
+                    yield node.lineno, f"import {alias.name}"
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import; cannot be numpy
+                continue
+            root = (node.module or "").split(".", maxsplit=1)[0]
+            if root == _PACKAGE:
+                yield node.lineno, f"from {node.module} import ..."
+
+
+class NumpyConfinementRule(LintRule):
+    """R009: numpy imports stay inside ``repro/backends/array.py``.
+
+    Flags every ``import numpy`` / ``from numpy import ...`` (including
+    ones nested inside functions — lazy imports still fail at call time
+    on machines without the extra) in any ``repro`` source module other
+    than the array backend.  Tests are out of scope: the differential
+    suite legitimately skips itself when numpy is absent.
+    ``# lint: disable=R009`` marks the rare deliberate exception.
+    """
+
+    rule_id = "R009"
+    summary = (
+        "numpy is the optional [array] extra; only repro/backends/array.py "
+        "may import it (the scalar backend must run with numpy absent)"
+    )
+
+    def check_module(
+        self, module: "ParsedModule", context: "LintContext"
+    ) -> Iterator[Finding]:
+        from repro.lint.engine import in_repro_source
+
+        if not in_repro_source(module) or _is_confined(module):
+            return
+        for lineno, spelling in _numpy_imports(module.tree):
+            yield self.finding(
+                module.display_path,
+                lineno,
+                f"'{spelling}' outside the array backend makes the "
+                "optional [array] extra a hard dependency; keep numpy "
+                "confined to repro/backends/array.py",
+            )

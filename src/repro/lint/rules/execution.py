@@ -9,11 +9,13 @@ Two related disciplines share this rule id:
   result cache and the parallel executor — and silently re-measures what
   another figure already measured.
 * **Everything else goes through the facade.**  Outside
-  ``repro/api.py``, package code must not construct ``CNTCache(...)``
-  directly nor call the deprecated ``run_workload(...)``; the facade
-  (:func:`repro.api.make_cache`, :func:`repro.api.simulate`) is the one
-  sanctioned entry, so the public surface can evolve without chasing
-  scattered call sites.
+  ``repro/api.py``, the backend registry package (``repro/backends/``,
+  the layer the facade delegates to) and the modules that define the
+  simulators, package code must not construct ``CNTCache(...)`` or
+  ``ArrayCNTCache(...)`` directly nor call the deprecated
+  ``run_workload(...)``; the facade (:func:`repro.api.make_cache`,
+  :func:`repro.api.simulate`) is the one sanctioned entry, so the
+  public surface can evolve without chasing scattered call sites.
 """
 
 from __future__ import annotations
@@ -34,13 +36,19 @@ _TARGET_NAME = "experiments.py"
 #: Bare call names that mean "simulate right here, right now".
 _DIRECT_RUNNERS = frozenset({"run_workload", "replay"})
 
-#: Simulator class whose construction must go through the facade.
-_SIMULATOR = "CNTCache"
+#: Simulator classes whose construction must go through the facade
+#: (every backend of the registry, not just the scalar reference).
+_SIMULATORS = frozenset({"CNTCache", "ArrayCNTCache"})
 
-#: Files allowed to bypass the facade: the facade itself, and the module
-#: that defines the simulator (its docstrings/tests-of-self aside, the
-#: class must be constructible somewhere).
+#: Files allowed to bypass the facade: the facade itself, and the
+#: modules that define the simulators (its docstrings/tests-of-self
+#: aside, the classes must be constructible somewhere).
 _FACADE_EXEMPT = frozenset({"api.py", "cntcache.py"})
+
+#: Package allowed to bypass the facade wholesale: ``repro.backends``
+#: is the registry :func:`repro.api.make_cache` delegates to, so it is
+#: a sanctioned construction site by definition.
+_FACADE_EXEMPT_PACKAGE = "backends"
 
 #: Deprecated entry points the facade branch flags (``replay`` stays a
 #: sanctioned low-level primitive; only experiments.py may not call it).
@@ -60,22 +68,23 @@ class DirectSimulationRule(LintRule):
     """R006: simulate through the engine; construct through the facade.
 
     Inside an ``experiments.py`` module, flags any call to
-    ``run_workload(...)`` or ``replay(...)`` and any ``CNTCache(...)``
-    construction (which covers the chained ``CNTCache(...).run(...)``
-    form too) — declare a :class:`repro.exec.SimJob` and resolve it
-    through the engine instead.  In every other ``repro`` source module
-    except the facade (``api.py``) and the simulator's own module, flags
-    ``CNTCache(...)`` construction and calls to the deprecated
-    ``run_workload(...)`` — use :func:`repro.api.make_cache` /
-    :func:`repro.api.simulate`.  ``# lint: disable=R006`` marks the rare
-    deliberate exception.
+    ``run_workload(...)`` or ``replay(...)`` and any construction of a
+    backend simulator class (``CNTCache(...)``/``ArrayCNTCache(...)``,
+    which covers the chained ``CNTCache(...).run(...)`` form too) —
+    declare a :class:`repro.exec.SimJob` and resolve it through the
+    engine instead.  In every other ``repro`` source module except the
+    facade (``api.py``), the ``repro.backends`` registry package and
+    the simulators' own modules, flags simulator construction and calls
+    to the deprecated ``run_workload(...)`` — use
+    :func:`repro.api.make_cache` / :func:`repro.api.simulate`.
+    ``# lint: disable=R006`` marks the rare deliberate exception.
     """
 
     rule_id = "R006"
     summary = (
         "experiments.py must declare SimJobs via repro.exec, and code "
-        "outside repro.api must not construct CNTCache or call "
-        "run_workload() directly"
+        "outside repro.api/repro.backends must not construct a backend "
+        "simulator or call run_workload() directly"
     )
 
     def check_module(
@@ -87,7 +96,11 @@ class DirectSimulationRule(LintRule):
             return
         if module.path.name == _TARGET_NAME:
             yield from self._check_experiments(module)
-        elif in_repro_source(module) and module.path.name not in _FACADE_EXEMPT:
+        elif (
+            in_repro_source(module)
+            and module.path.name not in _FACADE_EXEMPT
+            and _FACADE_EXEMPT_PACKAGE not in module.path.parts
+        ):
             yield from self._check_facade(module)
 
     # -------------------------------------------------------------- #
@@ -106,11 +119,11 @@ class DirectSimulationRule(LintRule):
                     "declare a SimJob and resolve it through the ExecEngine "
                     "(repro.exec) so it dedupes, caches and parallelizes",
                 )
-            elif name == _SIMULATOR:
+            elif name in _SIMULATORS:
                 yield self.finding(
                     module.display_path,
                     node.lineno,
-                    f"experiment constructs {_SIMULATOR}(...) directly; "
+                    f"experiment constructs {name}(...) directly; "
                     "declare a SimJob and resolve it through the ExecEngine "
                     "(repro.exec) instead of driving the simulator inline",
                 )
@@ -123,11 +136,11 @@ class DirectSimulationRule(LintRule):
             if not isinstance(node, ast.Call):
                 continue
             name = _call_name(node.func)
-            if name == _SIMULATOR:
+            if name in _SIMULATORS:
                 yield self.finding(
                     module.display_path,
                     node.lineno,
-                    f"constructs {_SIMULATOR}(...) directly, bypassing the "
+                    f"constructs {name}(...) directly, bypassing the "
                     "stable facade; use repro.api.make_cache() so the "
                     "construction site stays evolvable",
                 )

@@ -53,9 +53,11 @@ class MetricSpec:
 
     ``kind``
         ``"perf"`` (wall-clock dependent; compared within one machine,
-        regression = drop beyond ``tolerance``) or ``"fidelity"``
+        regression = drop beyond ``tolerance``), ``"fidelity"``
         (deterministic physics; compared across machines, regression =
-        any relative drift beyond ``tolerance``).
+        any relative drift beyond ``tolerance``), or ``"floor"``
+        (``tolerance`` is an absolute minimum the value must clear on
+        every record — no trajectory history needed).
     """
 
     name: str
@@ -71,6 +73,18 @@ METRICS: tuple[MetricSpec, ...] = (
         "perf",
         0.15,
         "single-workload CNT-scheme replay throughput",
+    ),
+    MetricSpec(
+        "sim.array_replay_accesses_per_s",
+        "perf",
+        0.15,
+        "the same replay through the array backend (absent without numpy)",
+    ),
+    MetricSpec(
+        "sim.array_speedup",
+        "floor",
+        5.0,
+        "array/scalar replay throughput ratio (hard floor: 5x)",
     ),
     MetricSpec(
         "exec.serial_accesses_per_s",
@@ -89,6 +103,12 @@ METRICS: tuple[MetricSpec, ...] = (
         "perf",
         0.15,
         "F3 matrix replayed from a warm result cache",
+    ),
+    MetricSpec(
+        "exec.array_serial_accesses_per_s",
+        "perf",
+        0.15,
+        "F3 matrix, one process, array backend (absent without numpy)",
     ),
     MetricSpec(
         "fidelity.cnt_average_saving",
@@ -213,6 +233,7 @@ def collect(
     seed: int = 7,
     jobs: int = 2,
     progress: Callable[[str], None] | None = None,
+    backend: str | None = None,
 ) -> dict[str, float]:
     """Measure the declared suite; returns metric name -> value.
 
@@ -221,6 +242,11 @@ def collect(
     serial pass fills a temporary result cache that the warm-cache pass
     replays.  Fidelity numbers come from the same resolved results plus
     the derived Table I energy model.
+
+    ``backend`` restricts the suite: ``None`` (default) measures both
+    backends when numpy is importable, ``"scalar"`` skips the array
+    metrics, ``"array"`` raises :class:`BenchError` when numpy is
+    missing instead of silently degrading.
     """
     import tempfile
 
@@ -250,6 +276,44 @@ def collect(
     metrics["sim.replay_accesses_per_s"] = (
         sim.stats.accesses / wall if wall > 0 else 0.0
     )
+
+    from repro.backends import array_available, backend_names
+
+    if backend is not None and backend not in backend_names():
+        raise BenchError(
+            f"unknown backend {backend!r}; known: {', '.join(backend_names())}"
+        )
+    with_array = backend != "scalar" and array_available()
+    if backend == "array" and not with_array:
+        raise BenchError(
+            "backend 'array' requested but numpy is not importable "
+            "(pip install repro[array])"
+        )
+    if with_array:
+        say(f"[bench] replay: stream/{size}, array vs scalar backend")
+        # Best-of-N both sides: the speedup floor is a hard CI gate, so
+        # neither numerator nor denominator should ride one unlucky
+        # scheduler tick.
+        best_scalar = metrics["sim.replay_accesses_per_s"]
+        for _ in range(2):
+            started = time.perf_counter()
+            timed = replay(CNTCacheConfig(), run.trace, run.preloads)
+            wall = time.perf_counter() - started
+            if wall > 0:
+                best_scalar = max(best_scalar, timed.stats.accesses / wall)
+        best_array = 0.0
+        for _ in range(3):
+            started = time.perf_counter()
+            timed = replay(
+                CNTCacheConfig(), run.trace, run.preloads, backend="array"
+            )
+            wall = time.perf_counter() - started
+            if wall > 0:
+                best_array = max(best_array, timed.stats.accesses / wall)
+        metrics["sim.array_replay_accesses_per_s"] = best_array
+        metrics["sim.array_speedup"] = (
+            best_array / best_scalar if best_scalar else 0.0
+        )
 
     f3_jobs = list(EXPERIMENT_PLANS["f3"](size, seed).values())
     with tempfile.TemporaryDirectory(prefix="bench-cache-") as cache_dir:
@@ -287,6 +351,17 @@ def collect(
     metrics["exec.parallel_accesses_per_s"] = (
         accesses / wall if wall > 0 else 0.0
     )
+
+    if with_array:
+        say(f"[bench] exec serial: {len(f3_jobs)} F3 jobs, array backend")
+        array_serial = ExecEngine(jobs=1, backend="array")
+        started = time.perf_counter()
+        results = array_serial.run_jobs(f3_jobs)
+        wall = time.perf_counter() - started
+        accesses = sum(result.accesses for result in results)
+        metrics["exec.array_serial_accesses_per_s"] = (
+            accesses / wall if wall > 0 else 0.0
+        )
 
     return metrics
 
@@ -383,6 +458,11 @@ class Regression:
                 f"{self.metric}: {self.value:.1f} is {drop:.1%} below the "
                 f"baseline {self.baseline:.1f} (tolerance {self.tolerance:.0%})"
             )
+        if self.kind == "floor":
+            return (
+                f"{self.metric}: {self.value:.2f} is below the hard floor "
+                f"{self.tolerance:g}"
+            )
         return (
             f"{self.metric}: {self.value!r} drifted from the baseline "
             f"{self.baseline!r} (fidelity tolerance {self.tolerance:g})"
@@ -425,6 +505,16 @@ def compare(
     for spec in METRICS:
         value = record.metrics.get(spec.name)
         if value is None:
+            continue
+        if spec.kind == "floor":
+            # An absolute gate: no history needed, every record must clear it.
+            if value < spec.tolerance:
+                regressions.append(
+                    Regression(
+                        spec.name, value, spec.tolerance, spec.tolerance,
+                        "floor",
+                    )
+                )
             continue
         baseline = _baseline_for(spec, record, trajectory, window)
         if baseline is None:

@@ -1,0 +1,65 @@
+"""Graceful degradation when the optional numpy extra is absent.
+
+These tests simulate a numpy-less install by poisoning ``sys.modules``
+(``sys.modules["numpy"] = None`` makes any ``import numpy`` raise
+ImportError) and evicting the cached array module so its import
+re-executes.  The scalar path must be completely unaffected — that is
+the point of lint rule R009 confining numpy to the array module.
+"""
+
+import sys
+
+import pytest
+
+from repro.backends import BackendError, array_available, make_backend
+from repro.core.config import CNTCacheConfig
+from repro.trace.record import Access
+
+
+@pytest.fixture
+def no_numpy(monkeypatch):
+    monkeypatch.delitem(sys.modules, "repro.backends.array", raising=False)
+    monkeypatch.setitem(sys.modules, "numpy", None)
+    yield
+    # monkeypatch restores sys.modules; evict the poisoned import result
+    # so later tests re-import the real array module.
+    sys.modules.pop("repro.backends.array", None)
+
+
+class TestWithoutNumpy:
+    def test_array_unavailable(self, no_numpy):
+        assert array_available() is False
+
+    def test_array_selection_names_the_extra(self, no_numpy):
+        with pytest.raises(BackendError, match=r"repro\[array\]"):
+            make_backend("array", CNTCacheConfig())
+
+    def test_scalar_backend_unaffected(self, no_numpy):
+        sim = make_backend("scalar", CNTCacheConfig())
+        sim.access(Access.write(0, b"\xff" * 8))
+        sim.finalize()
+        assert sim.stats.accesses == 1
+        assert sim.stats.total_fj > 0
+
+    def test_bench_collect_refuses_array(self, no_numpy):
+        from repro.obs.bench import BenchError, collect
+
+        with pytest.raises(BenchError, match="numpy"):
+            collect(size="tiny", backend="array")
+
+    def test_cli_reports_the_missing_extra(self, no_numpy, capsys):
+        from repro.harness.cli import main
+
+        assert main(["f3", "--backend", "array"]) == 2
+        assert "repro[array]" in capsys.readouterr().err
+
+    def test_registry_still_lists_array(self, no_numpy):
+        """Availability is a property of the install, not the registry."""
+        from repro.backends import backend_names
+
+        assert "array" in backend_names()
+
+
+def test_available_when_numpy_importable():
+    pytest.importorskip("numpy")
+    assert array_available() is True

@@ -118,3 +118,37 @@ class TestDeprecationShims:
             api.make_cache()
             api.simulate(workload=tiny_runs["stream"])
             api.plan(experiment="t1")
+
+
+class TestBackendSelection:
+    """backend= threads identically through every construction surface."""
+
+    def test_simulate_backends_agree_in_process(self, tiny_runs):
+        pytest.importorskip("numpy")
+        run = tiny_runs["stream"]
+        scalar = api.simulate(workload=run)
+        array = api.simulate(workload=run, backend="array")
+        assert array.stats.to_dict() == scalar.stats.to_dict()
+
+    def test_simulate_backends_agree_through_an_engine(self, tiny_runs):
+        pytest.importorskip("numpy")
+        run = tiny_runs["stream"]
+        scalar = api.simulate(workload=run, engine=ExecEngine())
+        array = api.simulate(
+            workload=run, engine=ExecEngine(), backend="array"
+        )
+        assert array.stats.to_dict() == scalar.stats.to_dict()
+
+    def test_engine_backend_override_wins(self, tiny_runs):
+        pytest.importorskip("numpy")
+        run = tiny_runs["stream"]
+        engine = api.make_engine(backend="array")
+        result = api.simulate(workload=run, engine=engine)
+        reference = api.simulate(workload=run)
+        assert result.stats.to_dict() == reference.stats.to_dict()
+
+    def test_engine_rejects_unknown_backend(self):
+        from repro.exec import EngineError
+
+        with pytest.raises(EngineError, match="backend"):
+            api.make_engine(backend="gpu")

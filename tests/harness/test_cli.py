@@ -165,3 +165,22 @@ class TestCLI:
         assert "# CNT-Cache reproduction report" in text
         assert "[t1]" in text
         assert "[t3]" in text
+
+
+class TestBackendFlag:
+    def test_experiment_runs_under_the_array_backend(self, capsys):
+        pytest.importorskip("numpy")
+        assert main(["t2", "--size", "tiny", "--backend", "array"]) == 0
+
+    def test_trace_backend_flag_accepted(self, tmp_path, capsys):
+        pytest.importorskip("numpy")
+        out = tmp_path / "trace.json"
+        assert main([
+            "trace", "--size", "tiny", "--backend", "array",
+            "--out", str(out),
+        ]) == 0
+        assert out.is_file()
+
+    def test_unknown_backend_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["t1", "--backend", "gpu"])

@@ -175,7 +175,9 @@ class TestBenchCLI:
 
         monkeypatch.setattr(
             "repro.obs.bench.collect",
-            lambda size, seed, jobs, progress=None: dict(metrics),
+            lambda size, seed, jobs, progress=None, backend=None: dict(
+                metrics
+            ),
         )
         argv = ["bench", "--size", "smoke", "--bench-dir", str(tmp_path)]
         if check:
@@ -226,3 +228,31 @@ class TestBenchCLI:
         captured = capsys.readouterr()
         assert "REGRESSION" in captured.err
         assert "informational" in captured.out
+
+
+class TestFloorGate:
+    """The sim.array_speedup hard floor (no trajectory history needed)."""
+
+    def test_below_the_floor_flags_without_history(self):
+        fresh = record(index=1, **{"sim.array_speedup": 4.2})
+        (regression,) = compare(fresh, [])
+        assert regression.metric == "sim.array_speedup"
+        assert regression.kind == "floor"
+        assert regression.baseline == pytest.approx(5.0)
+        assert "hard floor" in regression.describe()
+
+    def test_at_or_above_the_floor_passes(self):
+        assert compare(record(index=1, **{"sim.array_speedup": 5.0}), []) == []
+        assert compare(record(index=1, **{"sim.array_speedup": 10.7}), []) == []
+
+    def test_absent_metric_passes(self):
+        """A numpy-less machine records no array metrics; that is not a
+        regression, the extra simply is not installed there."""
+        assert compare(record(index=1), []) == []
+
+    def test_floor_ignores_the_trajectory_baseline(self):
+        history = [record(index=1, **{"sim.array_speedup": 11.0})]
+        fresh = record(index=2, **{"sim.array_speedup": 6.0})
+        # 45% below the history median, but above the hard floor: the
+        # perf-style baseline does not apply to floor metrics.
+        assert compare(fresh, history) == []
