@@ -36,7 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 
     from repro.backends import CacheBackend
     from repro.core.config import CNTCacheConfig
-    from repro.exec import ExecEngine, SimJob
+    from repro.exec import BrokerConfig, ExecEngine, SimJob
     from repro.harness.runner import RunResult
     from repro.obs import Obs, ProfileReport
     from repro.resilience import ResilienceConfig
@@ -78,6 +78,8 @@ def make_engine(
     obs: "Obs | None" = None,
     resilience: "ResilienceConfig | None" = None,
     backend: str | None = None,
+    exec_backend: str | None = None,
+    broker: "BrokerConfig | str | Path | None" = None,
 ) -> "ExecEngine":
     """An execution engine (see :class:`repro.exec.ExecEngine`).
 
@@ -86,7 +88,13 @@ def make_engine(
     :class:`repro.resilience.ResilienceConfig`); ``None`` means the
     self-healing defaults.  ``backend`` overrides the simulation engine
     of every job the engine resolves (``None`` respects each job's own
-    selection).
+    selection).  ``exec_backend`` names the *execution* strategy
+    (``local-serial``/``local-pool``/``broker`` — see
+    :func:`repro.exec.exec_backends`); ``broker`` points at a shared
+    work-broker directory (a path or a
+    :class:`repro.exec.BrokerConfig`) and implies the ``broker``
+    backend — the engine coordinates a worker fleet through the
+    broker's cache (see docs/DISTRIBUTED.md).
     """
     from repro.exec import ExecEngine
 
@@ -97,6 +105,8 @@ def make_engine(
         obs=obs,
         resilience=resilience,
         backend=backend,
+        exec_backend=exec_backend,
+        broker=broker,
     )
 
 

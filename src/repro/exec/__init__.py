@@ -11,6 +11,19 @@ batches collect structured :class:`FailureRecord` results — see
 for the job model, hash scheme, cache layout and invalidation rules.
 """
 
+from repro.exec.backends import (
+    ExecBackendError,
+    ExecBackendInfo,
+    exec_backend_names,
+    exec_backends,
+    make_exec_backend,
+)
+from repro.exec.broker import (
+    BrokerConfig,
+    BrokerError,
+    WorkerStats,
+    run_worker,
+)
 from repro.exec.engine import (
     EngineCounters,
     EngineError,
@@ -24,6 +37,7 @@ from repro.exec.job import (
     SimJob,
     audit_job,
     code_fingerprint,
+    job_from_payload,
     l2_job,
     normalize_config,
     oracle_job,
@@ -32,11 +46,13 @@ from repro.exec.job import (
 )
 from repro.exec.planner import Plan, Planner, plan_jobs
 from repro.exec.result import ExecResult, ResultError
+from repro.exec.store import ResultStore
 from repro.exec.worker import execute_job, execute_payload
 from repro.resilience import (
     FailureRecord,
     JobFailure,
     PermanentJobFailure,
+    PoisonJobError,
     ResilienceConfig,
     TransientJobFailure,
 )
@@ -44,8 +60,12 @@ from repro.resilience import (
 __all__ = [
     "ENGINE_SCHEMA",
     "JOB_KINDS",
+    "BrokerConfig",
+    "BrokerError",
     "EngineCounters",
     "EngineError",
+    "ExecBackendError",
+    "ExecBackendInfo",
     "ExecEngine",
     "ExecResult",
     "FailureRecord",
@@ -54,19 +74,27 @@ __all__ = [
     "PermanentJobFailure",
     "Plan",
     "Planner",
+    "PoisonJobError",
     "ResilienceConfig",
     "ResultError",
+    "ResultStore",
     "SimJob",
     "TransientJobFailure",
+    "WorkerStats",
     "audit_job",
     "code_fingerprint",
+    "exec_backend_names",
+    "exec_backends",
     "execute_job",
     "execute_payload",
+    "job_from_payload",
     "l2_job",
+    "make_exec_backend",
     "normalize_config",
     "oracle_job",
     "plan_jobs",
     "run_selftest",
+    "run_worker",
     "trace_job",
     "workload_job",
 ]

@@ -1,4 +1,4 @@
-"""The execution engine: memoized, cached, optionally parallel job runs.
+"""The execution engine: memoized, cached, optionally distributed runs.
 
 :class:`ExecEngine` is the single authority experiments go through to get
 simulation results (lint rule R006 enforces this for
@@ -8,11 +8,17 @@ simulation results (lint rule R006 enforces this for
    this engine already resolved (so experiments sharing a baseline run
    simulate it once);
 2. resolves — in-memory memo first, then the content-addressed on-disk
-   cache (``cache_dir``), keyed by :attr:`SimJob.fingerprint` and
-   versioned by the engine schema + code fingerprint;
-3. executes the remainder — serially in-process, or across a
-   ``ProcessPoolExecutor`` when ``jobs > 1``.  Parallel results travel as
-   JSON-exact payloads, so they are bit-identical to serial ones.
+   cache (``cache_dir``, a :class:`repro.exec.store.ResultStore`), keyed
+   by :attr:`SimJob.fingerprint` and versioned by the engine schema +
+   code fingerprint;
+3. executes the remainder through an *execution backend*
+   (:mod:`repro.exec.backends`): ``local-serial`` in-process,
+   ``local-pool`` across a ``ProcessPoolExecutor``, or ``broker`` — the
+   distributed mode where this engine coordinates a fleet of
+   ``cntcache worker`` processes through a shared filesystem broker
+   (:mod:`repro.exec.broker`).  Results travel as JSON-exact payloads
+   (or through the shared cache), so every backend is bit-identical to
+   serial execution.
 
 Observability: per-job wall time, accesses/second and result source flow
 through the optional ``progress`` callback, and :attr:`ExecEngine.counters`
@@ -24,48 +30,36 @@ and queue-wait timings, instrumented simulation code publishes
 workers and shipped home through the result payload), and every unique
 job resolution plus a batch summary lands in the session's run manifest.
 
-Cache layout (``cache_dir``)::
-
-    <cache_dir>/<fp[:2]>/<fp>.json    one JSON document per result:
-        {"schema": ..., "fingerprint": ..., "job": {...}, "payload": {...}}
-
-A cache file is used only if its schema tag and fingerprint match; a
-mismatch is treated as a miss (and overwritten), and an unparseable file
-is quarantined to ``<fingerprint>.corrupt`` (counted in
-``exec.cache_corrupt``) — never an error.  Because the fingerprint folds
-in a hash of all simulation source
-(see :func:`repro.exec.job.code_fingerprint`), editing simulator code
-invalidates stale entries automatically.
+The cache layout and its atomicity/quarantine discipline are documented
+in :mod:`repro.exec.store`; a mismatching schema tag or code fingerprint
+is a plain miss, so editing simulator code invalidates stale entries
+automatically.
 """
 
 from __future__ import annotations
 
-import json
-import os
 import time
 from collections.abc import Callable, Iterable, Mapping
 from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FuturesTimeoutError
-from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from dataclasses import dataclass
 from pathlib import Path
 
-from repro import faults
 from repro.backends import backend_names
-from repro.exec.job import ENGINE_SCHEMA, SimJob
+from repro.exec.backends import exec_backend_names, make_exec_backend
+from repro.exec.broker import BrokerConfig
+from repro.exec.job import SimJob
 from repro.exec.planner import plan_jobs
 from repro.exec.result import ExecResult
-from repro.exec.worker import (
-    execute_job,
-    execute_payload,
-    init_worker_observability,
+from repro.exec.store import (  # noqa: F401  (re-exported compat names)
+    STALE_TMP_TTL_S,
+    EngineCounters,
+    ResultStore,
 )
+from repro.exec.worker import execute_job, execute_payload
 from repro.obs import probe, trace
 from repro.resilience import (
     FailureRecord,
     ResilienceConfig,
-    backoff_delay,
     classify_transient,
     failure_for,
 )
@@ -73,87 +67,6 @@ from repro.resilience import (
 
 class EngineError(RuntimeError):
     """Raised on invalid engine configuration or use."""
-
-
-#: Orphaned ``*.tmp.<pid>`` cache files older than this are swept on
-#: engine startup (crashed writers leave them behind); younger ones may
-#: belong to a live concurrent run sharing the cache directory.
-STALE_TMP_TTL_S = 3600.0
-
-
-@dataclass
-class EngineCounters:
-    """Running totals of everything the engine resolved."""
-
-    requested: int = 0
-    unique: int = 0
-    memo_hits: int = 0
-    cache_hits: int = 0
-    executed: int = 0
-    retries: int = 0
-    timeouts: int = 0
-    pool_rebuilds: int = 0
-    serial_fallbacks: int = 0
-    failures: int = 0
-    cache_corrupt: int = 0
-    cache_write_errors: int = 0
-    tmp_swept: int = 0
-
-    @property
-    def resolved(self) -> int:
-        """Total resolutions, however they were served."""
-        return self.memo_hits + self.cache_hits + self.executed
-
-    @property
-    def cache_hit_rate(self) -> float:
-        """Fraction of resolutions served without simulating (0 if none)."""
-        resolved = self.resolved
-        if not resolved:
-            return 0.0
-        return (self.memo_hits + self.cache_hits) / resolved
-
-    def to_dict(self) -> dict:
-        """JSON-ready totals (manifest summaries, ``profile --json``)."""
-        return {
-            "requested": self.requested,
-            "unique": self.unique,
-            "memo_hits": self.memo_hits,
-            "cache_hits": self.cache_hits,
-            "executed": self.executed,
-            "resolved": self.resolved,
-            "cache_hit_rate": self.cache_hit_rate,
-            "retries": self.retries,
-            "timeouts": self.timeouts,
-            "pool_rebuilds": self.pool_rebuilds,
-            "serial_fallbacks": self.serial_fallbacks,
-            "failures": self.failures,
-            "cache_corrupt": self.cache_corrupt,
-            "cache_write_errors": self.cache_write_errors,
-            "tmp_swept": self.tmp_swept,
-        }
-
-    def describe(self) -> str:
-        """One-line summary for logs and the CLI."""
-        text = (
-            f"{self.requested} requested, {self.unique} unique, "
-            f"{self.memo_hits} memo hit(s), {self.cache_hits} cache "
-            f"hit(s), {self.executed} simulated"
-        )
-        extras = [
-            f"{value} {name}"
-            for name, value in (
-                ("retried", self.retries),
-                ("timed out", self.timeouts),
-                ("pool rebuild(s)", self.pool_rebuilds),
-                ("serial fallback(s)", self.serial_fallbacks),
-                ("failed", self.failures),
-                ("corrupt cache entr(ies)", self.cache_corrupt),
-            )
-            if value
-        ]
-        if extras:
-            text += ", " + ", ".join(extras)
-        return text
 
 
 class ExecEngine:
@@ -167,6 +80,8 @@ class ExecEngine:
         obs=None,
         resilience: ResilienceConfig | None = None,
         backend: str | None = None,
+        exec_backend: str | None = None,
+        broker: BrokerConfig | str | Path | None = None,
     ) -> None:
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
             raise EngineError(f"jobs must be a positive int, got {jobs!r}")
@@ -180,6 +95,36 @@ class ExecEngine:
             raise EngineError(
                 f"resilience must be a ResilienceConfig, got {resilience!r}"
             )
+        if isinstance(broker, (str, Path)):
+            broker = BrokerConfig(root=broker)
+        elif broker is not None and not isinstance(broker, BrokerConfig):
+            raise EngineError(
+                f"broker must be a BrokerConfig or directory, got {broker!r}"
+            )
+        if broker is not None and exec_backend is None:
+            exec_backend = "broker"
+        if exec_backend is not None and exec_backend not in exec_backend_names():
+            raise EngineError(
+                f"unknown exec backend {exec_backend!r}; "
+                f"known: {exec_backend_names()}"
+            )
+        if exec_backend == "broker":
+            if broker is None:
+                raise EngineError(
+                    "the 'broker' exec backend needs a broker directory "
+                    "(broker=BrokerConfig(...) or broker=<path>)"
+                )
+            # The broker's cache *is* the result transport: workers write
+            # there and the coordinator adopts from there, so a divergent
+            # cache_dir would split the single source of truth in two.
+            shared = broker.cache_dir
+            if cache_dir is None:
+                cache_dir = shared
+            elif Path(cache_dir).resolve() != shared.resolve():
+                raise EngineError(
+                    "a broker engine shares the broker's cache "
+                    f"({shared}); drop cache_dir or point it there"
+                )
         self.jobs = jobs
         self.cache_dir = None if cache_dir is None else Path(cache_dir)
         self.progress = progress
@@ -188,6 +133,13 @@ class ExecEngine:
         #: :func:`repro.backends.backends`).  ``None`` respects each
         #: job's own ``backend`` field.
         self.backend = backend
+        #: Execution-backend override (see :mod:`repro.exec.backends`).
+        #: ``None`` selects locally by batch shape: ``local-pool`` when
+        #: ``jobs > 1`` and more than one job is pending, else
+        #: ``local-serial`` — exactly the pre-registry behaviour.
+        self.exec_backend = exec_backend
+        #: Broker configuration (``broker`` exec backend only).
+        self.broker = broker
         #: Optional :class:`repro.obs.Obs` session; when set, probes are
         #: enabled around every batch and manifests are emitted into it.
         self.obs = obs
@@ -196,12 +148,19 @@ class ExecEngine:
         self.counters = EngineCounters()
         #: Every :class:`FailureRecord` this engine collected (keep-going).
         self.failures: list[FailureRecord] = []
+        #: The shared on-disk result store (None = memo-only engine).
+        self.store = (
+            None
+            if self.cache_dir is None
+            else ResultStore(self.cache_dir, self.counters, progress)
+        )
         #: fingerprint -> resolved result (the cross-batch memo).
         self._memo: dict[str, ExecResult] = {}
         #: fingerprint -> failed placeholder, valid for the current batch
         #: only — a later batch gets a fresh shot at the job.
         self._failed: dict[str, ExecResult] = {}
-        self._sweep_stale_tmps()
+        if self.store is not None:
+            self.store.sweep()
 
     # ------------------------------------------------------------------ #
     # public API
@@ -307,157 +266,19 @@ class ExecEngine:
         return result.stats
 
     # ------------------------------------------------------------------ #
-    # execution
+    # execution (dispatched through repro.exec.backends)
     # ------------------------------------------------------------------ #
     def _execute(self, pending: list[SimJob]) -> None:
         if not pending:
             return
-        if self.jobs > 1 and len(pending) > 1:
-            self._execute_pool(pending)
-        else:
-            self._execute_serial(pending)
-
-    def _execute_serial(self, pending: list[SimJob]) -> None:
-        """In-process execution with bounded retries on transient errors."""
-        config = self.resilience
-        for job in pending:
-            attempt = 0
-            while True:
-                try:
-                    result = execute_job(job, attempt=attempt)
-                # Sanctioned broad catch: every error is classified and
-                # either retried or surfaced as a structured failure.
-                except Exception as error:  # lint: disable=R007
-                    if self._should_retry(job, attempt, error):
-                        attempt += 1
-                        time.sleep(
-                            backoff_delay(config, job.fingerprint, attempt)
-                        )
-                        continue
-                    self._fail(job, error, attempt + 1)
-                    break
-                self._store(job, result)
-                break
-
-    def _execute_pool(self, pending: list[SimJob]) -> None:
-        """Worker-pool execution: retries, timeouts, rebuilds, fallback.
-
-        Jobs run in rounds.  A round submits everything still unresolved
-        and harvests results in submission order; a failure classified
-        transient re-queues its job for the next round (up to
-        ``max_retries``).  A timeout or a ``BrokenProcessPool``
-        *condemns* the pool — finished futures are still harvested, the
-        rest re-queue, and the pool is rebuilt (``pool_rebuilds`` times)
-        before the engine degrades to serial in-process execution for
-        whatever remains.
-        """
-        config = self.resilience
-        workers = min(self.jobs, len(pending))
-        # Force-enable probes/tracing in the workers iff they are on
-        # here; per-job captures come back inside the result payloads.
-        initializer = initargs = None
-        if probe.ENABLED or trace.ACTIVE:
-            initializer = init_worker_observability
-            initargs = (probe.ENABLED, trace.ACTIVE, trace.EVERY, trace.CAPACITY)
-        attempts: dict[str, int] = {job.fingerprint: 0 for job in pending}
-        remaining = list(pending)
-        rebuilds_left = config.pool_rebuilds
-        pool = self._make_pool(workers, initializer, initargs)
-        try:
-            while remaining:
-                batch, remaining = remaining, []
-                condemned = False
-                done_at: dict[int, float] = {}
-                queued_at = time.perf_counter()
-                futures = [
-                    pool.submit(execute_payload, job, attempts[job.fingerprint])
-                    for job in batch
-                ]
-                for future in futures:
-                    future.add_done_callback(
-                        lambda f, d=done_at: d.setdefault(
-                            id(f), time.perf_counter()
-                        )
-                    )
-                for job, future in zip(batch, futures):
-                    if condemned and not future.done():
-                        # The pool is already condemned; don't wait on it.
-                        future.cancel()
-                        remaining.append(job)
-                        continue
-                    try:
-                        payload = future.result(timeout=config.job_timeout_s)
-                    except FuturesTimeoutError:
-                        condemned = True
-                        self.counters.timeouts += 1
-                        probe.counter("exec.timeouts")
-                        self._retry_or_fail(
-                            job,
-                            attempts,
-                            remaining,
-                            TimeoutError(
-                                f"{job.label} exceeded the "
-                                f"{config.job_timeout_s}s job timeout"
-                            ),
-                        )
-                        continue
-                    except BrokenProcessPool as error:
-                        condemned = True
-                        self._retry_or_fail(job, attempts, remaining, error)
-                        continue
-                    # Sanctioned broad catch: a worker raised a real job
-                    # error — classify it, retry or record, never swallow.
-                    except Exception as error:  # lint: disable=R007
-                        self._retry_or_fail(job, attempts, remaining, error)
-                        continue
-                    result = ExecResult.from_payload(job, payload, "run")
-                    finished = done_at.get(id(future), time.perf_counter())
-                    # Turnaround minus worker wall time approximates the
-                    # time the job sat waiting for a worker slot.
-                    queue_wait = max(
-                        0.0, finished - queued_at - result.wall_s
-                    )
-                    self._store(
-                        job, result, queue_wait_s=queue_wait, absorb=True
-                    )
-                if condemned:
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    if remaining and rebuilds_left > 0:
-                        rebuilds_left -= 1
-                        self.counters.pool_rebuilds += 1
-                        probe.counter("exec.pool_rebuilds")
-                        pool = self._make_pool(workers, initializer, initargs)
-                    elif remaining:
-                        self.counters.serial_fallbacks += 1
-                        probe.counter("exec.serial_fallbacks")
-                        self._execute_serial(remaining)
-                        remaining = []
-                elif remaining:
-                    # Pure retries (no pool break): back off before the
-                    # next round, by the slowest job's ladder.
-                    time.sleep(
-                        max(
-                            backoff_delay(
-                                config,
-                                job.fingerprint,
-                                attempts[job.fingerprint],
-                            )
-                            for job in remaining
-                        )
-                    )
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
-
-    @staticmethod
-    def _make_pool(
-        workers: int, initializer, initargs
-    ) -> ProcessPoolExecutor:
-        """Build a worker pool, arming observability when requested."""
-        if initializer is None:
-            return ProcessPoolExecutor(max_workers=workers)
-        return ProcessPoolExecutor(
-            max_workers=workers, initializer=initializer, initargs=initargs
-        )
+        name = self.exec_backend
+        if name is None:
+            name = (
+                "local-pool"
+                if self.jobs > 1 and len(pending) > 1
+                else "local-serial"
+            )
+        make_exec_backend(name).execute(self, pending)
 
     def _should_retry(
         self, job: SimJob, attempt: int, error: BaseException
@@ -532,106 +353,37 @@ class ExecEngine:
         self._cache_write(job, result)
         self._emit(job, result)
 
+    def _adopt(self, job: SimJob, result: ExecResult) -> None:
+        """Install a result another process produced (distributed path).
+
+        The broker coordinator reads completed results back from the
+        shared store; they count as executed work (someone simulated
+        them for this batch) but are *not* re-written to the cache —
+        the worker's write is the authoritative copy.
+        """
+        self.counters.executed += 1
+        probe.counter("exec.executed")
+        if self.obs is not None:
+            self.obs.record_job(job, result)
+        self._memo[job.fingerprint] = result
+        self._emit(job, result)
+
     # ------------------------------------------------------------------ #
-    # on-disk cache
+    # on-disk cache (delegates to the shared ResultStore)
     # ------------------------------------------------------------------ #
     def _cache_path(self, job: SimJob) -> Path | None:
-        if self.cache_dir is None:
+        if self.store is None:
             return None
-        fingerprint = job.fingerprint
-        return self.cache_dir / fingerprint[:2] / f"{fingerprint}.json"
+        return self.store.path_for(job.fingerprint)
 
     def _cache_read(self, job: SimJob) -> ExecResult | None:
-        path = self._cache_path(job)
-        if path is None or not path.is_file():
+        if self.store is None:
             return None
-        try:
-            text = path.read_text(encoding="utf-8")
-        except OSError:
-            return None  # unreadable: a miss, never an error
-        try:
-            document = json.loads(text)
-            if (
-                document.get("schema") != ENGINE_SCHEMA
-                or document.get("fingerprint") != job.fingerprint
-            ):
-                # A valid document from another schema/code version: a
-                # plain miss, overwritten by the fresh result.
-                return None
-            return ExecResult.from_payload(job, document["payload"], "cache")
-        except (ValueError, KeyError, TypeError):
-            self._quarantine(path)
-            return None
-
-    def _quarantine(self, path: Path) -> None:
-        """Move an unparseable cache file aside as ``<name>.corrupt``.
-
-        Quarantining instead of silently overwriting keeps the evidence
-        (torn write? disk fault? foreign writer?) while still treating
-        the entry as a miss.
-        """
-        self.counters.cache_corrupt += 1
-        probe.counter("exec.cache_corrupt")
-        if self.progress is not None:
-            self.progress(f"[exec] quarantined corrupt cache entry {path.name}")
-        try:
-            os.replace(path, path.with_suffix(".corrupt"))
-        except OSError:  # lint: disable=R007
-            pass  # racing reader already moved or removed it
+        return self.store.read(job)
 
     def _cache_write(self, job: SimJob, result: ExecResult) -> None:
-        path = self._cache_path(job)
-        if path is None:
-            return
-        document = {
-            "schema": ENGINE_SCHEMA,
-            "fingerprint": job.fingerprint,
-            "job": job.describe(),
-            "payload": result.payload(),
-        }
-        data = faults.mangle_cache_write(
-            job.fingerprint, json.dumps(document, sort_keys=True)
-        )
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        try:
-            faults.maybe_cache_write_error(job.fingerprint)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp.write_text(data, encoding="utf-8")
-            os.replace(tmp, path)  # atomic: concurrent runs share a cache
-        except OSError as error:
-            # The cache is an accelerator, not a correctness dependency:
-            # a failed write must never fail the batch.  Clean our tmp so
-            # a flaky disk cannot litter the cache directory.
-            self.counters.cache_write_errors += 1
-            probe.counter("exec.cache_write_errors")
-            if self.progress is not None:
-                self.progress(
-                    f"[exec] cache write failed for {job.label}: {error}"
-                )
-            try:
-                tmp.unlink(missing_ok=True)
-            except OSError:  # lint: disable=R007
-                pass  # best-effort cleanup on an already-failing disk
-
-    def _sweep_stale_tmps(self) -> None:
-        """Remove orphaned ``*.tmp.<pid>`` files a crashed writer left.
-
-        Only files older than :data:`STALE_TMP_TTL_S` are removed — a
-        younger tmp may belong to a live run sharing this cache
-        directory.
-        """
-        if self.cache_dir is None or not self.cache_dir.is_dir():
-            return
-        # Wall clock by necessity: tmp staleness is judged against file
-        # mtimes, which are wall-clock stamps.  Never feeds results.
-        cutoff = time.time() - STALE_TMP_TTL_S  # lint: disable=D001
-        for tmp in self.cache_dir.glob("*/*.tmp.*"):
-            try:
-                if tmp.stat().st_mtime < cutoff:
-                    tmp.unlink()
-                    self.counters.tmp_swept += 1
-            except OSError:  # lint: disable=R007
-                pass  # vanished mid-sweep (concurrent engine): fine
+        if self.store is not None:
+            self.store.write(job, result)
 
     # ------------------------------------------------------------------ #
     # observability

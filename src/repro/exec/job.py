@@ -300,6 +300,47 @@ class SimJob:
         )
 
 
+def job_from_payload(payload: dict) -> SimJob:
+    """Rebuild a :class:`SimJob` from its :meth:`SimJob.describe` output.
+
+    The broker transport: a coordinator publishes ``describe()`` as the
+    job record, and a worker — possibly a different process on a
+    different machine — reconstructs the job to execute it.  Strict by
+    design: the schema tag *and* the code fingerprint must match this
+    process's own, so a mixed-version fleet fails to claim a job whose
+    semantics it could not reproduce, rather than executing it wrongly.
+    Raises :class:`JobError` on any mismatch or malformation.
+    """
+    if not isinstance(payload, dict):
+        raise JobError(f"job payload must be a dict, got {type(payload).__name__}")
+    if payload.get("schema") != ENGINE_SCHEMA:
+        raise JobError(
+            f"job payload schema {payload.get('schema')!r} != {ENGINE_SCHEMA!r}"
+        )
+    if payload.get("code") != code_fingerprint():
+        raise JobError(
+            "job payload was written under different simulation sources"
+        )
+    config = payload.get("config")
+    try:
+        job = SimJob(
+            kind=payload["kind"],
+            workload=payload["workload"],
+            size=payload["size"],
+            seed=payload["seed"],
+            config=None if config is None else CNTCacheConfig.from_dict(config),
+            params=tuple(
+                (str(name), int(value)) for name, value in payload["params"]
+            ),
+            backend=payload["backend"],
+        )
+    except JobError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise JobError(f"malformed job payload: {error}") from None
+    return job
+
+
 # --------------------------------------------------------------------- #
 # constructors (the sanctioned way to build jobs — they normalize)
 # --------------------------------------------------------------------- #

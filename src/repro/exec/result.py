@@ -22,10 +22,12 @@ class ResultError(ValueError):
 
 
 #: Where a result came from (observability only — never hashed).
+#: ``broker`` marks a result a *fleet worker* simulated and the
+#: coordinator adopted from the shared cache (distributed backend).
 #: ``failed`` marks a keep-going placeholder: the job exhausted its
 #: attempts and carries a :class:`~repro.resilience.FailureRecord`
 #: instead of a measurement.
-SOURCES = ("run", "memo", "cache", "failed")
+SOURCES = ("run", "memo", "cache", "broker", "failed")
 
 
 @dataclass

@@ -54,7 +54,7 @@ ENV_VAR = "REPRO_FAULTS"
 CRASH_EXIT_STATUS = 13
 
 #: Fault sites with a configurable rate, in plan-spec order.
-RATE_FIELDS = ("crash", "hang", "corrupt", "write_os", "poison")
+RATE_FIELDS = ("crash", "hang", "corrupt", "write_os", "poison", "lease")
 
 
 class FaultError(ValueError):
@@ -79,6 +79,10 @@ class FaultPlan:
     ``poison``
         Per-entry probability that a garbage line is spliced into the
         JSONL manifest ahead of a real entry.
+    ``lease``
+        Per-job probability that a broker lease write is torn (the
+        file truncated mid-document), modelling a worker dying inside
+        the claim/heartbeat write itself.
     ``fires``
         How many attempts a (site, key) fault persists for; 1 (the
         default) models transient faults that a single retry heals.
@@ -90,6 +94,7 @@ class FaultPlan:
     corrupt: float = 0.0
     write_os: float = 0.0
     poison: float = 0.0
+    lease: float = 0.0
     hang_s: float = 2.0
     fires: int = 1
 
@@ -219,8 +224,28 @@ def injected(plan: FaultPlan | str) -> Iterator[FaultPlan]:
         _PLAN = previous
 
 
+#: True while this process has declared itself a worker (see
+#: :func:`mark_worker_process`) even without a multiprocessing parent.
+_FORCED_WORKER = False
+
+
 def _in_worker_process() -> bool:
-    return multiprocessing.parent_process() is not None
+    return _FORCED_WORKER or multiprocessing.parent_process() is not None
+
+
+def mark_worker_process(flag: bool = True) -> None:
+    """Declare this process a worker for hard-fault purposes (or undo it).
+
+    Broker workers are plain subprocesses, not ``multiprocessing``
+    children, so :func:`_in_worker_process` cannot see their parentage;
+    ``cntcache worker`` calls this so injected crashes/hangs are *hard*
+    (a real ``os._exit``) there too.  The flag is reversible — in-process
+    tests that drive ``run_worker`` directly restore it in a ``finally``
+    so the hosting test process never starts genuinely exiting on
+    injected crashes.
+    """
+    global _FORCED_WORKER
+    _FORCED_WORKER = bool(flag)
 
 
 # ------------------------------------------------------------------ #
@@ -266,6 +291,19 @@ def maybe_cache_write_error(key: str) -> None:
         raise OSError(f"injected cache-write failure for {key}")
 
 
+def mangle_lease_write(key: str, data: str) -> str:
+    """Lease-write hook: return ``data``, possibly truncated mid-document.
+
+    A torn lease is indistinguishable from one left by a worker that
+    died mid-write; readers must treat it as expired (claimable), which
+    is exactly what the broker's steal path does.
+    """
+    plan = active()
+    if plan is None or not plan.fires_at("lease", key):
+        return data
+    return data[: max(1, len(data) // 3)]
+
+
 def poison_manifest_line(key: str) -> str | None:
     """Manifest hook: a garbage JSONL line to splice in, or ``None``."""
     plan = active()
@@ -285,6 +323,8 @@ __all__ = [
     "injected",
     "install",
     "mangle_cache_write",
+    "mangle_lease_write",
+    "mark_worker_process",
     "maybe_cache_write_error",
     "on_job_start",
     "poison_manifest_line",

@@ -13,6 +13,8 @@ Examples::
     cntcache profile --json --manifest run.jsonl  # machine-readable
     cntcache trace --export chrome --out trace.json   # per-access events
     cntcache bench --size smoke --check      # perf/fidelity regression gate
+    cntcache f3 --jobs 3 --broker /shared/broker  # distributed coordinator
+    cntcache worker --broker /shared/broker       # extra fleet worker
 
 ``all`` unions the job plans of every experiment, deduplicates them (the
 baseline reference run is simulated once, not once per figure) and
@@ -30,9 +32,13 @@ import time
 from pathlib import Path
 
 from repro.exec import (
+    BrokerConfig,
+    BrokerError,
+    EngineError,
     ExecEngine,
     JobFailure,
     ResilienceConfig,
+    exec_backend_names,
     plan_jobs,
     run_selftest,
 )
@@ -223,6 +229,104 @@ def _trace_main(argv: list[str]) -> int:
     return 0
 
 
+def _worker_main(argv: list[str]) -> int:
+    """``cntcache worker``: drain a shared broker directory until idle."""
+    import signal
+    import threading
+
+    from repro.exec.broker import run_worker
+
+    parser = argparse.ArgumentParser(
+        prog="cntcache worker",
+        description=(
+            "claim and execute jobs from a shared filesystem work broker "
+            "(see docs/DISTRIBUTED.md); results land in the broker's "
+            "content-addressed cache, where the coordinator adopts them"
+        ),
+    )
+    parser.add_argument(
+        "--broker", required=True, metavar="DIR",
+        help="broker root directory (shared with the coordinator)",
+    )
+    parser.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+        help=(
+            "claim time-to-live without a heartbeat — the crash-detection "
+            "latency (default: 30)"
+        ),
+    )
+    parser.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="lease renewal interval (default: lease-ttl / 3)",
+    )
+    parser.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="idle poll interval while nothing is claimable (default: 0.2)",
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="exit cleanly after this long with nothing to claim (default: 60)",
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "per-job heartbeat budget: a job running longer stops renewing "
+            "its lease and the fleet reclaims it (default: unbounded)"
+        ),
+    )
+    parser.add_argument(
+        "--max-generations", type=int, default=None, metavar="N",
+        help=(
+            "lease generations before a job is quarantined as poison "
+            "(default: max_retries + 1)"
+        ),
+    )
+    parser.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="exit after claiming N jobs (default: run until idle)",
+    )
+    parser.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="worker identity in lease files (default: <hostname>-<pid>)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print per-claim progress lines",
+    )
+    args = parser.parse_args(argv)
+    try:
+        config = BrokerConfig(
+            root=args.broker,
+            lease_ttl_s=args.lease_ttl,
+            heartbeat_s=args.heartbeat,
+            poll_s=args.poll,
+            idle_timeout_s=args.idle_timeout,
+            max_generations=args.max_generations,
+        )
+        resilience = ResilienceConfig(job_timeout_s=args.job_timeout)
+    except (BrokerError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    stop = threading.Event()
+    try:
+        # SIGTERM = graceful drain: finish the current claim, then exit.
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    except ValueError:  # lint: disable=R007
+        pass  # not the main thread (embedded use): idle timeout still exits
+    progress = (lambda line: print(line, flush=True)) if args.progress else None
+    stats = run_worker(
+        config,
+        worker_id=args.worker_id,
+        resilience=resilience,
+        max_jobs=args.max_jobs,
+        progress=progress,
+        hard_faults=True,
+        stop=stop,
+    )
+    print(f"worker done: {stats.describe()}", flush=True)
+    return 0
+
+
 def _bench_main(argv: list[str]) -> int:
     """``cntcache bench``: measure the suite, append a trajectory record."""
     from repro.obs import bench as bench_module
@@ -330,8 +434,9 @@ def _parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment id (t1, f3, ...), 'all', 'report', 'list', "
-            "'selftest', 'profile', 'lint', 'trace' or 'bench' (the last "
-            "three own their argument sets; see 'cntcache <cmd> --help')"
+            "'selftest', 'profile', 'lint', 'trace', 'bench' or 'worker' "
+            "(the last four own their argument sets; see "
+            "'cntcache <cmd> --help')"
         ),
     )
     parser.add_argument(
@@ -375,6 +480,36 @@ def _parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="print per-job progress (source, wall time, accesses/s)",
+    )
+    distributed = parser.add_argument_group("distributed execution")
+    distributed.add_argument(
+        "--exec-backend",
+        default=None,
+        choices=exec_backend_names(),
+        help=(
+            "execution backend (default: local-serial or local-pool, "
+            "chosen by --jobs; 'broker' needs --broker)"
+        ),
+    )
+    distributed.add_argument(
+        "--broker",
+        default=None,
+        metavar="DIR",
+        help=(
+            "shared work-broker directory: publish jobs there, spawn a "
+            "local worker fleet and adopt results from the broker's cache "
+            "(implies --exec-backend broker; see docs/DISTRIBUTED.md)"
+        ),
+    )
+    distributed.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "broker lease time-to-live — the crash-detection latency "
+            "(default: 30)"
+        ),
     )
     resilience = parser.add_argument_group("resilience")
     resilience.add_argument(
@@ -449,13 +584,19 @@ def _resilience_from(args: argparse.Namespace) -> ResilienceConfig:
 
 
 def _engine_from(args: argparse.Namespace) -> ExecEngine:
+    """Build the engine the flags describe (may raise Engine/BrokerError)."""
     progress = (lambda line: print(line, flush=True)) if args.progress else None
+    broker = None
+    if args.broker is not None:
+        broker = BrokerConfig(root=args.broker, lease_ttl_s=args.lease_ttl)
     return ExecEngine(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         progress=progress,
         resilience=_resilience_from(args),
         backend=args.backend,
+        exec_backend=args.exec_backend,
+        broker=broker,
     )
 
 
@@ -471,6 +612,8 @@ def main(argv: list[str] | None = None) -> int:
         return _trace_main(argv[1:])
     if argv[:1] == ["bench"]:
         return _bench_main(argv[1:])
+    if argv[:1] == ["worker"]:
+        return _worker_main(argv[1:])
     args = _parser().parse_args(argv)
     size = SIZE_ALIASES.get(args.size, args.size)
     if args.jobs < 1:
@@ -551,6 +694,9 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
                 engine=_engine_from(args),
             )
+        except (EngineError, BrokerError) as error:
+            print(str(error), file=sys.stderr)
+            return 2
         except JobFailure as error:
             print(f"job failed: {error}", file=sys.stderr)
             return 1
@@ -565,7 +711,11 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
-    engine = _engine_from(args)
+    try:
+        engine = _engine_from(args)
+    except (EngineError, BrokerError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
     try:
         if len(ids) > 1 or resilience.keep_going:
             # Union every experiment's declared jobs, dedupe, resolve up
@@ -601,7 +751,7 @@ def main(argv: list[str] | None = None) -> int:
     except JobFailure as error:
         print(f"job failed: {error}", file=sys.stderr)
         return 1
-    if args.progress or args.cache_dir or args.jobs > 1:
+    if args.progress or args.cache_dir or args.jobs > 1 or args.broker:
         print(engine.summary())
     return 0
 

@@ -111,6 +111,12 @@ METRICS: tuple[MetricSpec, ...] = (
         "F3 matrix, one process, array backend (absent without numpy)",
     ),
     MetricSpec(
+        "exec.broker_drain_accesses_per_s",
+        "perf",
+        0.25,
+        "F3 matrix drained through the filesystem work broker",
+    ),
+    MetricSpec(
         "fidelity.cnt_average_saving",
         "fidelity",
         1e-6,
@@ -360,6 +366,26 @@ def collect(
         wall = time.perf_counter() - started
         accesses = sum(result.accesses for result in results)
         metrics["exec.array_serial_accesses_per_s"] = (
+            accesses / wall if wall > 0 else 0.0
+        )
+
+    say(f"[bench] exec broker: {len(f3_jobs)} F3 jobs through a local fleet")
+    from repro.exec import BrokerConfig
+
+    with tempfile.TemporaryDirectory(prefix="bench-broker-") as broker_dir:
+        # Generous TTL: this leg measures drain throughput, not crash
+        # recovery, so no lease should ever expire mid-bench.
+        broker = ExecEngine(
+            jobs=max(jobs, 2),
+            broker=BrokerConfig(
+                root=broker_dir, poll_s=0.05, lease_ttl_s=60.0
+            ),
+        )
+        started = time.perf_counter()
+        results = broker.run_jobs(f3_jobs)
+        wall = time.perf_counter() - started
+        accesses = sum(result.accesses for result in results)
+        metrics["exec.broker_drain_accesses_per_s"] = (
             accesses / wall if wall > 0 else 0.0
         )
 

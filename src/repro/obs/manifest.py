@@ -94,6 +94,19 @@ def failure_entry(record) -> dict:
     return {"type": "failure", **record.to_dict()}
 
 
+def broker_entry(event: str, **fields) -> dict:
+    """One distributed-broker lifecycle event (``repro.exec.broker``).
+
+    ``event`` is one of ``publish`` (job records posted), ``reclaim``
+    (an expired lease stolen from a lost worker), ``quarantine`` (a
+    poison job retired) or ``drain`` (the coordinator finished); the
+    keyword fields carry the event's evidence (fingerprints, counts,
+    generations).  Broker entries are observability only — readers that
+    predate them (or :func:`summarize`) skip unknown types untouched.
+    """
+    return {"type": "broker", "event": event, **fields}
+
+
 def summary_entry(engine: dict, wall_s: float, scope=None) -> dict:
     """One engine batch: counters plus the session scope's probe totals."""
     snapshot = scope.snapshot() if scope is not None else {}

@@ -33,6 +33,7 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "exec.batch",
         "exec.cache_corrupt",
         "exec.cache_hits",
+        "exec.cache_read_errors",
         "exec.cache_write_errors",
         "exec.executed",
         "exec.failures",
@@ -43,6 +44,14 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "exec.retries",
         "exec.serial_fallbacks",
         "exec.timeouts",
+        # exec broker (distributed backend: leases, reclaim, quarantine)
+        "exec.broker_published",
+        "exec.lease_acquired",
+        "exec.lease_released",
+        "exec.lease_renewals",
+        "exec.quarantined",
+        "exec.reclaims",
+        "exec.workers_lost",
         # per-process workload memo
         "workload.builds",
         "workload.memo_hits",

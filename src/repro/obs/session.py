@@ -16,6 +16,7 @@ from pathlib import Path
 from repro.obs.manifest import (
     ManifestSummary,
     ManifestWriter,
+    broker_entry,
     failure_entry,
     job_entry,
     summarize,
@@ -57,6 +58,12 @@ class Obs(ObsScope):
     def record_failure(self, record) -> dict:
         """Append one exhausted-job entry (a ``FailureRecord``); returns it."""
         entry = failure_entry(record)
+        self._append(entry)
+        return entry
+
+    def record_broker(self, event: str, **fields) -> dict:
+        """Append one broker lifecycle entry (publish/reclaim/quarantine/drain)."""
+        entry = broker_entry(event, **fields)
         self._append(entry)
         return entry
 

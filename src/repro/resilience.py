@@ -190,6 +190,18 @@ class FailureRecord:
         )
 
 
+class PoisonJobError(RuntimeError):
+    """A broker job outlived or killed K consecutive workers.
+
+    Raised (or recorded, under keep-going) when a job exhausts its
+    lease generations in the distributed backend: every worker that
+    claimed it crashed, hung past its lease, or died before completing.
+    Deliberately *permanent* — the evidence says the job takes workers
+    down with it, so handing it to yet another fresh worker would only
+    grow the body count.  The broker quarantines the job record instead.
+    """
+
+
 class JobFailure(RuntimeError):
     """A job exhausted its attempts (fail-fast batches raise this)."""
 
@@ -219,6 +231,7 @@ __all__ = [
     "FailureRecord",
     "JobFailure",
     "PermanentJobFailure",
+    "PoisonJobError",
     "ResilienceConfig",
     "TransientJobFailure",
     "backoff_delay",

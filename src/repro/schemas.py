@@ -126,6 +126,18 @@ BENCH = _register(
     ),
 )
 
+#: Broker job records, lease files and quarantine records (the
+#: filesystem work queue behind the distributed exec backend).
+BROKER = _register(
+    "BROKER",
+    Schema(
+        family="exec-broker",
+        version=1,
+        owner="repro.exec.broker",
+        doc="work-broker job records, lease files and quarantine records",
+    ),
+)
+
 #: Profile reports (`cntcache profile --json`).
 PROFILE = _register(
     "PROFILE",
@@ -172,6 +184,7 @@ def schema_for(tag: str) -> Schema:
 __all__ = [
     "BASELINE",
     "BENCH",
+    "BROKER",
     "CONSTANT_BY_TAG",
     "EXEC",
     "MANIFEST",

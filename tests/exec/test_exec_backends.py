@@ -1,0 +1,204 @@
+"""Exec-backend registry and engine dispatch, plus the store janitor.
+
+Covers the registry surface (named strategies, unknown-name errors),
+the engine's backend/broker parameter validation, result equivalence
+across explicit backends, and the :mod:`repro.exec.store` satellites:
+the generalized TTL janitor and the cache-read-error counter.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import faults
+from repro.exec import (
+    BrokerConfig,
+    EngineError,
+    ExecEngine,
+    exec_backend_names,
+    exec_backends,
+    make_exec_backend,
+    trace_job,
+)
+from repro.exec.backends import ExecBackendError
+from repro.exec.store import (
+    STALE_CORRUPT_TTL_S,
+    STALE_TMP_TTL_S,
+    ResultStore,
+    sweep_stale,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    """No plan installed and no REPRO_FAULTS inherited, before and after."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+def cheap_jobs(count=3):
+    """Distinct, fast jobs (trace characterisation of tiny workloads)."""
+    names = ("records", "crc32", "bitcount", "stream", "histogram")
+    return [trace_job(names[i % len(names)], "tiny", 3 + i) for i in range(count)]
+
+
+# ------------------------------------------------------------------ #
+# the registry
+# ------------------------------------------------------------------ #
+class TestRegistry:
+    def test_the_three_backends_are_registered(self):
+        assert exec_backend_names() == ("local-serial", "local-pool", "broker")
+        by_name = {info.name: info for info in exec_backends()}
+        assert not by_name["local-serial"].distributed
+        assert not by_name["local-pool"].distributed
+        assert by_name["broker"].distributed
+
+    def test_factories_build_matching_backends(self):
+        for name in exec_backend_names():
+            assert make_exec_backend(name).name == name
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(ExecBackendError):
+            make_exec_backend("cloud")
+
+
+# ------------------------------------------------------------------ #
+# engine dispatch
+# ------------------------------------------------------------------ #
+class TestEngineDispatch:
+    def test_explicit_backends_agree_with_the_default(self):
+        jobs = cheap_jobs(3)
+        reference = [r.canonical() for r in ExecEngine().run_jobs(jobs)]
+        serial = ExecEngine(exec_backend="local-serial")
+        pool = ExecEngine(jobs=2, exec_backend="local-pool")
+        assert [r.canonical() for r in serial.run_jobs(jobs)] == reference
+        assert [r.canonical() for r in pool.run_jobs(jobs)] == reference
+
+    def test_unknown_exec_backend_rejected(self):
+        with pytest.raises(EngineError):
+            ExecEngine(exec_backend="cloud")
+
+    def test_broker_backend_requires_a_broker_config(self):
+        with pytest.raises(EngineError):
+            ExecEngine(exec_backend="broker")
+
+    def test_broker_config_implies_the_broker_backend(self, tmp_path):
+        engine = ExecEngine(broker=BrokerConfig(root=tmp_path))
+        assert engine.exec_backend == "broker"
+        assert engine.cache_dir == tmp_path / "cache"
+
+    def test_broker_accepts_a_bare_path(self, tmp_path):
+        engine = ExecEngine(broker=tmp_path / "b")
+        assert engine.broker.root == tmp_path / "b"
+        assert engine.cache_dir == tmp_path / "b" / "cache"
+
+    def test_conflicting_cache_dir_rejected(self, tmp_path):
+        with pytest.raises(EngineError):
+            ExecEngine(
+                broker=BrokerConfig(root=tmp_path / "b"),
+                cache_dir=tmp_path / "elsewhere",
+            )
+
+    def test_matching_cache_dir_accepted(self, tmp_path):
+        engine = ExecEngine(
+            broker=BrokerConfig(root=tmp_path / "b"),
+            cache_dir=tmp_path / "b" / "cache",
+        )
+        assert engine.cache_dir == tmp_path / "b" / "cache"
+
+
+# ------------------------------------------------------------------ #
+# the cache janitor (store satellites)
+# ------------------------------------------------------------------ #
+def age(path, seconds):
+    """Backdate a file's mtime, as if it had been left behind long ago."""
+    past = time.time() - seconds
+    os.utime(path, (past, past))
+
+
+class TestJanitor:
+    def test_sweep_stale_is_ttl_gated(self, tmp_path):
+        fresh = tmp_path / "fresh.tmp.1"
+        stale = tmp_path / "stale.tmp.2"
+        fresh.write_text("x")
+        stale.write_text("x")
+        age(stale, 7200)
+        assert sweep_stale(tmp_path, "*.tmp.*", 3600.0) == 1
+        assert fresh.exists()
+        assert not stale.exists()
+
+    def test_sweep_stale_on_a_missing_directory_is_zero(self, tmp_path):
+        assert sweep_stale(tmp_path / "nope", "*", 1.0) == 0
+
+    def test_engine_init_sweeps_stale_litter_classes(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        shard = cache_dir / "ab"
+        shard.mkdir(parents=True)
+        stale_tmp = shard / "deadbeef.json.tmp.99"
+        stale_corrupt = shard / "cafebabe.json.corrupt"
+        stale_tmp.write_text("{")
+        stale_corrupt.write_text("{")
+        age(stale_tmp, STALE_TMP_TTL_S + 60)
+        age(stale_corrupt, STALE_CORRUPT_TTL_S + 60)
+        engine = ExecEngine(cache_dir=cache_dir)
+        assert not stale_tmp.exists()
+        assert not stale_corrupt.exists()
+        assert engine.counters.tmp_swept == 1
+        assert engine.counters.corrupt_swept == 1
+
+    def test_fresh_quarantine_files_survive_the_sweep(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        shard = cache_dir / "ab"
+        shard.mkdir(parents=True)
+        fresh_corrupt = shard / "cafebabe.json.corrupt"
+        fresh_corrupt.write_text("{")
+        engine = ExecEngine(cache_dir=cache_dir)
+        assert fresh_corrupt.exists()  # evidence kept until the TTL
+        assert engine.counters.corrupt_swept == 0
+
+
+class TestCacheReadErrors:
+    def test_oserror_counts_and_reports_instead_of_raising(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.exec.store as store_module
+
+        job = cheap_jobs(1)[0]
+        cache_dir = tmp_path / "cache"
+        ExecEngine(cache_dir=cache_dir).run_jobs([job])  # fill the cache
+
+        def denied(path):
+            raise PermissionError(f"injected EACCES for {path}")
+
+        monkeypatch.setattr(store_module, "_load_text", denied)
+        lines: list[str] = []
+        engine = ExecEngine(cache_dir=cache_dir, progress=lines.append)
+        results = engine.run_jobs([job])  # falls back to executing
+        assert results[0].ok
+        assert engine.counters.cache_read_errors == 1
+        assert engine.counters.cache_hits == 0
+        assert any("cache read failed" in line for line in lines)
+
+    def test_unreadable_cache_is_a_miss_not_a_quarantine(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.exec.store as store_module
+
+        job = cheap_jobs(1)[0]
+        cache_dir = tmp_path / "cache"
+        ExecEngine(cache_dir=cache_dir).run_jobs([job])
+        monkeypatch.setattr(
+            store_module,
+            "_load_text",
+            lambda path: (_ for _ in ()).throw(OSError("io stall")),
+        )
+        engine = ExecEngine(cache_dir=cache_dir)
+        engine.run_jobs([job])
+        # An I/O error is environmental: the entry must NOT be moved to
+        # quarantine (it may be perfectly intact).
+        store = ResultStore(cache_dir)
+        assert list(cache_dir.glob("*/*.corrupt")) == []
+        assert store.path_for(job.fingerprint).exists()

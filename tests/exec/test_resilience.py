@@ -210,12 +210,14 @@ class TestSerialRetries:
         assert record.attempts == FAST.max_retries + 1
 
     def test_permanent_errors_never_retry(self, monkeypatch):
-        import repro.exec.engine as engine_module
+        # Serial execution lives in the backend module now; patch the
+        # name it actually calls.
+        import repro.exec.backends as backends_module
 
         def explode(job, attempt=0):
             raise ValueError("simulator invariant broken")
 
-        monkeypatch.setattr(engine_module, "execute_job", explode)
+        monkeypatch.setattr(backends_module, "execute_job", explode)
         engine = ExecEngine(resilience=FAST)
         with pytest.raises(PermanentJobFailure):
             engine.run_job(cheap_jobs(1)[0])

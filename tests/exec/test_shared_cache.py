@@ -1,0 +1,126 @@
+"""Concurrent shared-cache writers: many engines, one cache directory.
+
+The broker leans on the content-addressed cache as its single source of
+truth, which only works if concurrent writers — threads in one process,
+or entirely separate processes — can race on the same cache directory
+without corrupting it and while staying bit-identical to a serial run.
+The tmp + ``os.replace`` write discipline is what makes this hold.
+"""
+
+import json
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+from repro.exec import ExecEngine, trace_job
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    """No plan installed and no REPRO_FAULTS inherited, before and after."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+def cheap_jobs(count=4):
+    """Distinct, fast jobs (trace characterisation of tiny workloads)."""
+    names = ("records", "crc32", "bitcount", "stream", "histogram")
+    return [trace_job(names[i % len(names)], "tiny", 3 + i) for i in range(count)]
+
+
+def serial_canonicals(jobs):
+    """The reference: one pristine serial engine, no cache."""
+    return [r.canonical() for r in ExecEngine().run_jobs(jobs)]
+
+
+def assert_cache_clean(cache_dir: Path) -> None:
+    """No quarantine or tmp litter anywhere under the cache."""
+    assert list(cache_dir.glob("*/*.corrupt")) == []
+    assert list(cache_dir.glob("*/*.tmp.*")) == []
+
+
+class TestThreadedWriters:
+    def test_racing_engines_stay_bit_identical(self, tmp_path):
+        jobs = cheap_jobs(4)
+        reference = serial_canonicals(jobs)
+        cache_dir = tmp_path / "cache"
+        outcomes: list = [None] * 4
+
+        def race(slot: int) -> None:
+            engine = ExecEngine(cache_dir=cache_dir)
+            try:
+                results = engine.run_jobs(jobs)
+                outcomes[slot] = [r.canonical() for r in results]
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                outcomes[slot] = error
+
+        threads = [
+            threading.Thread(target=race, args=(slot,)) for slot in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        for outcome in outcomes:
+            assert outcome == reference
+        assert_cache_clean(cache_dir)
+
+    def test_warm_replay_after_the_race_is_all_cache_hits(self, tmp_path):
+        jobs = cheap_jobs(3)
+        cache_dir = tmp_path / "cache"
+        threads = [
+            threading.Thread(
+                target=lambda: ExecEngine(cache_dir=cache_dir).run_jobs(jobs)
+            )
+            for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        warm = ExecEngine(cache_dir=cache_dir)
+        warm.run_jobs(jobs)
+        assert warm.counters.cache_hits == len(jobs)
+        assert warm.counters.executed == 0
+
+
+_SUBPROCESS_RACER = """
+import json, sys
+from repro.exec import ExecEngine, trace_job
+
+cache_dir = sys.argv[1]
+names = ("records", "crc32", "bitcount", "stream", "histogram")
+jobs = [trace_job(names[i % len(names)], "tiny", 3 + i) for i in range(4)]
+results = ExecEngine(cache_dir=cache_dir).run_jobs(jobs)
+print(json.dumps([r.canonical() for r in results]))
+"""
+
+
+class TestSubprocessWriters:
+    def test_separate_processes_race_one_cache_directory(self, tmp_path):
+        jobs = cheap_jobs(4)
+        reference = serial_canonicals(jobs)
+        cache_dir = tmp_path / "cache"
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _SUBPROCESS_RACER, str(cache_dir)],
+                stdout=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(3)
+        ]
+        for proc in procs:
+            out, _ = proc.communicate(timeout=120)
+            assert proc.returncode == 0
+            assert json.loads(out.strip().splitlines()[-1]) == reference
+        assert_cache_clean(cache_dir)
+        # And the cache they left behind replays without simulating.
+        warm = ExecEngine(cache_dir=cache_dir)
+        assert [r.canonical() for r in warm.run_jobs(jobs)] == reference
+        assert warm.counters.executed == 0

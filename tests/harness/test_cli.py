@@ -184,3 +184,46 @@ class TestBackendFlag:
     def test_unknown_backend_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
             main(["t1", "--backend", "gpu"])
+
+
+class TestWorkerAndBrokerFlags:
+    def test_worker_drains_a_prepublished_broker(self, tmp_path, capsys):
+        from repro.exec import trace_job
+        from repro.exec.broker import BrokerConfig, BrokerStore
+
+        config = BrokerConfig(root=tmp_path / "broker")
+        store = BrokerStore(config)
+        store.publish([trace_job("stream", "tiny", 3)])
+        assert main([
+            "worker", "--broker", str(tmp_path / "broker"),
+            "--idle-timeout", "0.2", "--poll", "0.02",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "worker done: 1 claimed, 1 executed" in out
+        assert BrokerStore(config).pending() == []
+
+    def test_worker_requires_the_broker_flag(self):
+        with pytest.raises(SystemExit):
+            main(["worker"])
+
+    def test_worker_rejects_bad_settings(self, tmp_path, capsys):
+        assert main([
+            "worker", "--broker", str(tmp_path), "--lease-ttl", "0",
+        ]) == 2
+        assert "lease_ttl_s" in capsys.readouterr().err
+
+    def test_broker_flag_runs_an_experiment_end_to_end(self, tmp_path, capsys):
+        assert main([
+            "t2", "--size", "tiny", "--jobs", "2",
+            "--broker", str(tmp_path / "broker"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "exec:" in out  # engine summary printed in broker mode
+
+    def test_exec_backend_broker_without_broker_dir_rejected(self, capsys):
+        assert main(["t2", "--size", "tiny", "--exec-backend", "broker"]) == 2
+        assert "broker" in capsys.readouterr().err
+
+    def test_unknown_exec_backend_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["t1", "--exec-backend", "cloud"])
