@@ -48,6 +48,7 @@ cache hits, and the drain continues where it stopped.
 from __future__ import annotations
 
 import json
+import math
 import os
 import re
 import socket
@@ -69,6 +70,7 @@ from repro.exec.store import (
     sweep_stale,
 )
 from repro.obs import probe
+from repro.obs.telemetry import TelemetryWriter, span_for, telemetry_dir
 from repro.resilience import (
     PoisonJobError,
     ResilienceConfig,
@@ -276,10 +278,19 @@ class Lease:
 
 @dataclass(frozen=True)
 class Claim:
-    """A successfully acquired job: what :meth:`BrokerStore.claim` returns."""
+    """A successfully acquired job: what :meth:`BrokerStore.claim` returns.
+
+    ``trace_id``/``span_id`` are the correlation ids the coordinator
+    stamped into the job record (``None`` for records published before
+    telemetry, or by a coordinator running without it); the worker
+    propagates them into its telemetry frames and the result's trace
+    snapshot.  Pure observability — they never enter the job identity.
+    """
 
     job: SimJob
     lease: Lease
+    trace_id: str | None = None
+    span_id: str | None = None
 
 
 @dataclass
@@ -327,6 +338,7 @@ class BrokerStore:
         counters: EngineCounters | None = None,
         progress: Callable[[str], None] | None = None,
         cache: ResultStore | None = None,
+        telemetry: TelemetryWriter | None = None,
     ) -> None:
         self.config = config
         self.resilience = (
@@ -334,12 +346,18 @@ class BrokerStore:
         )
         self.counters = EngineCounters() if counters is None else counters
         self.progress = progress
+        #: Optional telemetry writer: store-level lifecycle events
+        #: (reclaims, quarantines) are announced through it.
+        self.telemetry = telemetry
         self.cache = (
             ResultStore(config.cache_dir, self.counters, progress)
             if cache is None
             else cache
         )
         self.max_generations = config.generations(self.resilience)
+        #: fingerprint -> (trace_id, span_id) read off published records,
+        #: so claims carry the coordinator's correlation ids.
+        self.trace_context: dict = {}
         #: Fingerprints this process decided never to claim again
         #: (foreign code versions, quarantined jobs) — stops the claim
         #: scan from re-parsing them every poll.
@@ -371,13 +389,17 @@ class BrokerStore:
     # -------------------------------------------------------------- #
     # coordinator side: publish
     # -------------------------------------------------------------- #
-    def publish(self, jobs: list[SimJob]) -> int:
+    def publish(self, jobs: list[SimJob], trace_id: str | None = None) -> int:
         """Publish claimable records for ``jobs``; returns how many are new.
 
         Idempotent: an existing record (same content-addressed name) is
         left untouched, so a resumed coordinator republishes nothing a
         previous drain already posted.  Quarantined jobs are skipped —
-        they already failed permanently.
+        they already failed permanently.  With a ``trace_id``, every new
+        record is stamped with it plus the job's derived span id
+        (:func:`repro.obs.telemetry.span_for`) so workers propagate the
+        coordinator's correlation ids; records are still claimable by
+        fleets that ignore the fields.
         """
         published = 0
         for job in jobs:
@@ -391,6 +413,9 @@ class BrokerStore:
                 "label": job.label,
                 "job": job.describe(),
             }
+            if trace_id is not None:
+                record["trace_id"] = trace_id
+                record["span_id"] = span_for(trace_id, fingerprint)
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
             tmp.write_text(
                 json.dumps(record, sort_keys=True), encoding="utf-8"
@@ -433,6 +458,12 @@ class BrokerStore:
             job = job_from_payload(record["job"])
             if job.fingerprint != fingerprint:
                 raise BrokerError(f"job record {path.name} hash mismatch")
+            trace_id = record.get("trace_id")
+            if trace_id is not None:
+                self.trace_context[fingerprint] = (
+                    str(trace_id),
+                    record.get("span_id"),
+                )
             return job
         except FileNotFoundError:
             return None
@@ -525,7 +556,10 @@ class BrokerStore:
             return None  # lost the claim race
         self.counters.claims += 1
         probe.counter("exec.lease_acquired")
-        return Claim(job=job, lease=lease)
+        trace_id, span_id = self.trace_context.get(fingerprint, (None, None))
+        return Claim(
+            job=job, lease=lease, trace_id=trace_id, span_id=span_id
+        )
 
     def _steal(self, lease_path: Path, worker_id: str) -> tuple[str, int] | None:
         """Atomically take an expired lease; ``(lost worker, generation)``.
@@ -572,6 +606,14 @@ class BrokerStore:
             os.replace(tmp, path)
         except OSError:  # lint: disable=R007
             pass  # counting evidence only; the reclaim itself happened
+        if self.telemetry is not None:
+            self.telemetry.lifecycle(
+                "reclaim",
+                fingerprint=fingerprint,
+                generation=generation,
+                lost_worker=lost_worker,
+                by=by,
+            )
 
     def consume_reclaims(self) -> list[dict]:
         """Take (and delete) every readable reclaim record, exactly once.
@@ -722,6 +764,14 @@ class BrokerStore:
         except OSError:  # lint: disable=R007
             pass  # racing stealer holds it; it will hit the quarantine too
         self._skip.add(job.fingerprint)
+        if self.telemetry is not None:
+            self.telemetry.lifecycle(
+                "quarantine",
+                fingerprint=job.fingerprint,
+                label=job.label,
+                generation=generation,
+                reason=reason,
+            )
         if self.progress is not None:
             self.progress(
                 f"[broker] quarantined poison job {job.label}: {reason}"
@@ -780,6 +830,7 @@ class _Heartbeat(threading.Thread):
         claim: Claim,
         interval: float,
         budget_s: float | None = None,
+        telemetry: TelemetryWriter | None = None,
     ) -> None:
         super().__init__(
             daemon=True,
@@ -789,6 +840,7 @@ class _Heartbeat(threading.Thread):
         self.claim = claim
         self.interval = interval
         self.budget_s = budget_s
+        self.telemetry = telemetry
         self._done = threading.Event()
 
     def run(self) -> None:
@@ -801,6 +853,16 @@ class _Heartbeat(threading.Thread):
                 return  # over budget: let the lease lapse (hang guard)
             if not self.store.renew(self.claim):
                 return  # stolen: the job belongs to someone else now
+            if self.telemetry is not None:
+                # The telemetry heartbeat rides the lease renewal: this
+                # thread is the only thing running while a long job
+                # simulates, so it is what keeps the dashboard live.
+                self.telemetry.heartbeat(
+                    "running",
+                    job=self.claim.job.label,
+                    kind=self.claim.job.kind,
+                    generation=self.claim.lease.generation,
+                )
 
     def stop(self) -> None:
         self._done.set()
@@ -833,26 +895,73 @@ def run_worker(
     """
     config = broker if isinstance(broker, BrokerConfig) else BrokerConfig(root=broker)
     resilience = ResilienceConfig() if resilience is None else resilience
-    store = BrokerStore(config, resilience=resilience, progress=progress)
     identity = worker_id or default_worker_id()
+    # Workers announce themselves on the broker's telemetry bus.  The
+    # declared interval is the lease heartbeat period — during a long
+    # job the renewal thread is what keeps frames flowing, so that is
+    # the largest gap a live worker should ever show.
+    telemetry = TelemetryWriter(
+        telemetry_dir(config.root),
+        identity=identity,
+        role="worker",
+        declared_interval_s=max(1.0, config.heartbeat_interval),
+    )
+    store = BrokerStore(
+        config, resilience=resilience, progress=progress, telemetry=telemetry
+    )
     idle_budget = (
         config.idle_timeout_s if idle_timeout_s is None else idle_timeout_s
     )
     stats = WorkerStats()
+    accesses_total = 0
+    #: Per-job fJ totals, order-safely summed at report time (D005).
+    energy_parts: list[float] = []
+    busy_s = 0.0
+
+    def gauges() -> dict:
+        rate = accesses_total / busy_s if busy_s > 0 else 0.0
+        return {
+            "jobs_done": stats.executed,
+            "claimed": stats.claimed,
+            "failures": stats.failures,
+            "accesses": accesses_total,
+            "accesses_per_s": round(rate, 1),
+            "energy_fj": math.fsum(energy_parts),
+        }
+
     if hard_faults:
         faults.mark_worker_process(True)
     try:
         reclaims_before = store.counters.reclaims
         idle_since = time.monotonic()
+        telemetry.heartbeat("idle", force=True, **gauges())
         while stop is None or not stop.is_set():
             claim = store.claim(identity)
             if claim is None:
                 if time.monotonic() - idle_since >= idle_budget:
                     break
+                telemetry.heartbeat("idle", **gauges())
                 time.sleep(config.poll_s)
                 continue
             idle_since = time.monotonic()
             stats.claimed += 1
+            telemetry.lifecycle(
+                "claim",
+                fingerprint=claim.lease.fingerprint,
+                label=claim.job.label,
+                kind=claim.job.kind,
+                generation=claim.lease.generation,
+                trace_id=claim.trace_id,
+                span_id=claim.span_id,
+            )
+            telemetry.heartbeat(
+                "running",
+                force=True,
+                job=claim.job.label,
+                kind=claim.job.kind,
+                generation=claim.lease.generation,
+                **gauges(),
+            )
             if progress is not None:
                 progress(
                     f"[worker {identity}] claimed {claim.job.label} "
@@ -863,6 +972,7 @@ def run_worker(
                 claim,
                 config.heartbeat_interval,
                 budget_s=resilience.job_timeout_s,
+                telemetry=telemetry,
             )
             heartbeat.start()
             try:
@@ -874,6 +984,16 @@ def run_worker(
             except Exception as error:  # lint: disable=R007
                 heartbeat.stop()
                 stats.failures += 1
+                telemetry.lifecycle(
+                    "fail",
+                    fingerprint=claim.lease.fingerprint,
+                    label=claim.job.label,
+                    generation=claim.lease.generation,
+                    error=type(error).__name__,
+                    transient=classify_transient(error),
+                    trace_id=claim.trace_id,
+                    span_id=claim.span_id,
+                )
                 if classify_transient(error):
                     store.fail_attempt(claim)
                     if progress is not None:
@@ -891,14 +1011,53 @@ def run_worker(
                     )
             else:
                 heartbeat.stop()
+                if claim.trace_id is not None and result.trace:
+                    # Correlation ids ride the trace snapshot (transport
+                    # observability, excluded from the canonical
+                    # measurement) so a fleet's traces stitch into one
+                    # timeline.
+                    result.trace.setdefault("trace_id", claim.trace_id)
+                    result.trace.setdefault("span_id", claim.span_id)
                 store.cache.write(claim.job, result)
                 store.complete(claim)
                 stats.executed += 1
+                accesses_total += result.accesses
+                busy_s += result.wall_s
+                if result.stats is not None:
+                    energy_parts.append(result.stats.total_fj)
+                telemetry.lifecycle(
+                    "finish",
+                    fingerprint=claim.lease.fingerprint,
+                    label=claim.job.label,
+                    kind=claim.job.kind,
+                    scheme=(
+                        None
+                        if claim.job.config is None
+                        else claim.job.config.scheme
+                    ),
+                    generation=claim.lease.generation,
+                    wall_s=result.wall_s,
+                    accesses=result.accesses,
+                    energy_fj=(
+                        None
+                        if result.stats is None
+                        else result.stats.total_fj
+                    ),
+                    trace_id=claim.trace_id,
+                    span_id=claim.span_id,
+                )
+                if probe.ENABLED:
+                    probe.gauge("worker.jobs_done", stats.executed)
+                    probe.gauge("worker.claimed", stats.claimed)
+                    probe.gauge("worker.failures", stats.failures)
             if max_jobs is not None and stats.claimed >= max_jobs:
                 break
     finally:
         if hard_faults:
             faults.mark_worker_process(False)
+        telemetry.lifecycle("exit", claimed=stats.claimed, executed=stats.executed)
+        telemetry.heartbeat("exited", force=True, **gauges())
+        telemetry.close()
     stats.reclaims = store.counters.reclaims - reclaims_before
     stats.renewals = store.counters.lease_renewals
     return stats
@@ -1009,17 +1168,25 @@ def drain(engine, pending: list[SimJob]) -> None:
         raise BrokerError("broker backend selected without a BrokerConfig")
     if engine.store is None:
         raise BrokerError("broker engine has no result store")
+    telemetry = getattr(engine, "telemetry", None)
     store = BrokerStore(
         config,
         resilience=engine.resilience,
         counters=engine.counters,
         progress=engine.progress,
         cache=engine.store,
+        telemetry=telemetry,
     )
     store.sweep()
-    published = store.publish(pending)
+    published = store.publish(
+        pending, trace_id=getattr(engine, "trace_id", None)
+    )
     if engine.obs is not None:
         engine.obs.record_broker(
+            "publish", jobs=len(pending), published=published
+        )
+    if telemetry is not None:
+        telemetry.lifecycle(
             "publish", jobs=len(pending), published=published
         )
     unresolved: dict[str, SimJob] = {job.fingerprint: job for job in pending}
@@ -1119,6 +1286,16 @@ def drain(engine, pending: list[SimJob]) -> None:
                     progressed = True  # consumed by step 2 next round
             if fleet is not None:
                 fleet.maintain(active_jobs=len(unresolved))
+            if telemetry is not None and telemetry.due:
+                depth = len(store.pending())
+                probe.gauge("broker.queue_depth", depth)
+                telemetry.heartbeat(
+                    "draining",
+                    queue_depth=depth,
+                    unresolved=len(unresolved),
+                    reclaims=engine.counters.reclaims,
+                    quarantined=engine.counters.quarantined,
+                )
             if not progressed:
                 time.sleep(config.poll_s)
         # Final accounting pass: the loop exits the moment the last job
@@ -1131,6 +1308,17 @@ def drain(engine, pending: list[SimJob]) -> None:
                 reclaims=engine.counters.reclaims,
                 workers_lost=engine.counters.workers_lost,
                 quarantined=engine.counters.quarantined,
+            )
+        if telemetry is not None:
+            telemetry.lifecycle(
+                "drain",
+                jobs=len(pending),
+                reclaims=engine.counters.reclaims,
+                workers_lost=engine.counters.workers_lost,
+                quarantined=engine.counters.quarantined,
+            )
+            telemetry.heartbeat(
+                "draining", force=True, queue_depth=0, unresolved=0
             )
     finally:
         if fleet is not None:

@@ -38,6 +38,7 @@ automatically.
 
 from __future__ import annotations
 
+import math
 import time
 from collections.abc import Callable, Iterable, Mapping
 from concurrent.futures import ProcessPoolExecutor
@@ -57,6 +58,13 @@ from repro.exec.store import (  # noqa: F401  (re-exported compat names)
 )
 from repro.exec.worker import execute_job, execute_payload
 from repro.obs import probe, trace
+from repro.obs.telemetry import (
+    TelemetryWriter,
+    default_identity,
+    make_trace_id,
+    span_for,
+    telemetry_dir,
+)
 from repro.resilience import (
     FailureRecord,
     ResilienceConfig,
@@ -82,6 +90,7 @@ class ExecEngine:
         backend: str | None = None,
         exec_backend: str | None = None,
         broker: BrokerConfig | str | Path | None = None,
+        telemetry: str | Path | TelemetryWriter | None = None,
     ) -> None:
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
             raise EngineError(f"jobs must be a positive int, got {jobs!r}")
@@ -154,6 +163,35 @@ class ExecEngine:
             if self.cache_dir is None
             else ResultStore(self.cache_dir, self.counters, progress)
         )
+        # Telemetry is opt-in and otherwise zero-cost: a broker engine
+        # streams into the broker's telemetry/ bus automatically (that is
+        # what `cntcache top` tails); any engine can point it elsewhere
+        # with an explicit directory.  `None` here means no frames, no
+        # trace ids, no wall-clock reads — byte-for-byte the old engine.
+        if telemetry is None and broker is not None:
+            telemetry = telemetry_dir(broker.root)
+        if telemetry is None or isinstance(telemetry, TelemetryWriter):
+            self.telemetry = telemetry
+        else:
+            self.telemetry = TelemetryWriter(
+                telemetry,
+                identity=default_identity("coordinator"),
+                role="coordinator",
+            )
+        #: Fleet correlation id for this coordinator's published jobs
+        #: (``None`` without telemetry — serial runs stay wall-clock-free).
+        self.trace_id: str | None = None
+        if self.telemetry is not None:
+            if self.telemetry.trace_id is None:
+                self.telemetry.trace_id = make_trace_id(
+                    self.telemetry.identity
+                )
+            self.trace_id = self.telemetry.trace_id
+        #: Running accesses/energy tallies for telemetry heartbeats only;
+        #: per-job fJ totals stay unsummed until report time (D005/R001:
+        #: order-safe math.fsum instead of bare float accumulation).
+        self._tele_accesses = 0
+        self._tele_energy: list[float] = []
         #: fingerprint -> resolved result (the cross-batch memo).
         self._memo: dict[str, ExecResult] = {}
         #: fingerprint -> failed placeholder, valid for the current batch
@@ -232,7 +270,10 @@ class ExecEngine:
                 probe.counter("exec.cache_hits")
                 self._memo[job.fingerprint] = cached
                 if self.obs is not None:
-                    self.obs.record_job(job, cached)
+                    trace_id, span_id = self._trace_ids(job)
+                    self.obs.record_job(
+                        job, cached, trace_id=trace_id, span_id=span_id
+                    )
                 self._emit(job, cached)
             else:
                 pending.append(job)
@@ -319,6 +360,17 @@ class ExecEngine:
         probe.counter("exec.failures")
         if self.obs is not None:
             self.obs.record_failure(record)
+        if self.telemetry is not None:
+            trace_id, span_id = self._trace_ids(job)
+            self.telemetry.lifecycle(
+                "fail",
+                fingerprint=job.fingerprint,
+                label=job.label,
+                error=record.error,
+                attempts=attempts,
+                trace_id=trace_id,
+                span_id=span_id,
+            )
         if not self.resilience.keep_going:
             raise failure_for(record) from error
         self.failures.append(record)
@@ -347,8 +399,17 @@ class ExecEngine:
             # Same contract for trace events: worker sinks ship their
             # snapshot home and it merges into the parent sink once.
             trace.absorb(result.trace)
+        trace_id, span_id = self._trace_ids(job)
         if self.obs is not None:
-            self.obs.record_job(job, result, queue_wait_s=queue_wait_s)
+            self.obs.record_job(
+                job,
+                result,
+                queue_wait_s=queue_wait_s,
+                trace_id=trace_id,
+                span_id=span_id,
+            )
+        if self.telemetry is not None:
+            self._account_telemetry(job, result, "finish", trace_id, span_id)
         self._memo[job.fingerprint] = result
         self._cache_write(job, result)
         self._emit(job, result)
@@ -363,8 +424,13 @@ class ExecEngine:
         """
         self.counters.executed += 1
         probe.counter("exec.executed")
+        trace_id, span_id = self._trace_ids(job)
         if self.obs is not None:
-            self.obs.record_job(job, result)
+            self.obs.record_job(
+                job, result, trace_id=trace_id, span_id=span_id
+            )
+        if self.telemetry is not None:
+            self._account_telemetry(job, result, "adopt", trace_id, span_id)
         self._memo[job.fingerprint] = result
         self._emit(job, result)
 
@@ -388,9 +454,85 @@ class ExecEngine:
     # ------------------------------------------------------------------ #
     # observability
     # ------------------------------------------------------------------ #
+    def _trace_ids(self, job: SimJob) -> tuple[str | None, str | None]:
+        """The (trace_id, span_id) pair for one job, or ``(None, None)``."""
+        if self.trace_id is None:
+            return (None, None)
+        return (self.trace_id, span_for(self.trace_id, job.fingerprint))
+
+    def _account_telemetry(
+        self,
+        job: SimJob,
+        result: ExecResult,
+        event: str,
+        trace_id: str | None,
+        span_id: str | None,
+    ) -> None:
+        """One unique resolution landed: tally it and stream a lifecycle
+        frame (``finish`` for local executions, ``adopt`` for results a
+        fleet worker produced — the worker already streamed the
+        ``finish``, so the collector's energy accounting stays
+        exactly-once)."""
+        self._tele_accesses += result.accesses
+        if result.stats is not None:
+            self._tele_energy.append(result.stats.total_fj)
+        assert self.telemetry is not None
+        self.telemetry.lifecycle(
+            event,
+            fingerprint=job.fingerprint,
+            label=job.label,
+            kind=job.kind,
+            scheme=None if job.config is None else job.config.scheme,
+            wall_s=result.wall_s,
+            accesses=result.accesses,
+            energy_fj=None if result.stats is None else result.stats.total_fj,
+            trace_id=trace_id,
+            span_id=span_id,
+        )
+
+    def close_telemetry(self) -> None:
+        """Stream the final ``exit`` frames and close the writer (no-op
+        without telemetry; called by the CLI when a run ends)."""
+        if self.telemetry is None:
+            return
+        resolved = (
+            self.counters.memo_hits
+            + self.counters.cache_hits
+            + self.counters.executed
+        )
+        self.telemetry.lifecycle(
+            "exit", jobs_done=resolved, failures=self.counters.failures
+        )
+        self.telemetry.heartbeat(
+            "exited",
+            force=True,
+            jobs_done=resolved,
+            accesses=self._tele_accesses,
+            energy_fj=math.fsum(self._tele_energy),
+        )
+        self.telemetry.close()
+
     def _emit(
         self, job: SimJob, result: ExecResult, source: str | None = None
     ) -> None:
+        if self.telemetry is not None and self.telemetry.due:
+            resolved = (
+                self.counters.memo_hits
+                + self.counters.cache_hits
+                + self.counters.executed
+            )
+            self.telemetry.heartbeat(
+                "running",
+                job=job.label,
+                kind=job.kind,
+                jobs_done=resolved,
+                executed=self.counters.executed,
+                cache_hits=self.counters.cache_hits,
+                memo_hits=self.counters.memo_hits,
+                failures=self.counters.failures,
+                accesses=self._tele_accesses,
+                energy_fj=math.fsum(self._tele_energy),
+            )
         if self.progress is None:
             return
         resolved = (

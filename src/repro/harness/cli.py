@@ -15,6 +15,9 @@ Examples::
     cntcache bench --size smoke --check      # perf/fidelity regression gate
     cntcache f3 --jobs 3 --broker /shared/broker  # distributed coordinator
     cntcache worker --broker /shared/broker       # extra fleet worker
+    cntcache top --broker /shared/broker          # live fleet dashboard
+    cntcache status --broker /shared/broker --json   # one fleet snapshot
+    cntcache metrics --broker /shared/broker --format prom  # Prometheus
 
 ``all`` unions the job plans of every experiment, deduplicates them (the
 baseline reference run is simulated once, not once per figure) and
@@ -176,9 +179,36 @@ def _trace_main(argv: list[str]) -> int:
         help="output path (default: trace.json / trace.collapsed)",
     )
     parser.add_argument(
+        "--fleet", default=None, metavar="DIR",
+        help=(
+            "fleet mode: instead of running jobs, export a broker run's "
+            "telemetry bus (a broker root or telemetry directory) as one "
+            "Chrome timeline with a process row per worker"
+        ),
+    )
+    parser.add_argument(
         "--progress", action="store_true", help="print per-job progress"
     )
     args = parser.parse_args(argv)
+    if args.fleet is not None:
+        from repro.obs.export import write_fleet_chrome
+        from repro.obs.telemetry import locate, read_all_frames
+
+        if args.export != "chrome":
+            print("--fleet only exports chrome traces", file=sys.stderr)
+            return 2
+        directory, _ = locate(args.fleet)
+        if not directory.is_dir():
+            print(f"no such directory: {directory}", file=sys.stderr)
+            return 2
+        frames = read_all_frames(directory)
+        path = write_fleet_chrome(frames, args.out or "fleet-trace.json")
+        procs = len({frame.get("proc") for frame in frames})
+        print(
+            f"fleet trace: {len(frames)} frame(s) from {procs} process(es)"
+        )
+        print(f"chrome trace written to {path}")
+        return 0
     size = SIZE_ALIASES.get(args.size, args.size)
     problem = _backend_usable(args.backend)
     if problem is not None:
@@ -227,6 +257,99 @@ def _trace_main(argv: list[str]) -> int:
     )
     print(f"{args.export} trace written to {path}")
     return 0
+
+
+def _fleet_main(command: str, argv: list[str]) -> int:
+    """``cntcache top|status|metrics``: observe a fleet's telemetry bus."""
+    import json as json_module
+
+    from repro.obs.telemetry import TelemetryCollector, prometheus_lines
+
+    descriptions = {
+        "top": (
+            "live refreshing dashboard over a running fleet's telemetry "
+            "bus (workers, states, throughput, queue depth; Ctrl-C exits)"
+        ),
+        "status": (
+            "print one fleet snapshot from the telemetry bus "
+            "(human-readable, or --json for scripting)"
+        ),
+        "metrics": (
+            "export the fleet snapshot in Prometheus text exposition "
+            "format (scrape or push from CI)"
+        ),
+    }
+    parser = argparse.ArgumentParser(
+        prog=f"cntcache {command}", description=descriptions[command]
+    )
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument(
+        "--broker", metavar="DIR",
+        help="broker root directory (tails <DIR>/telemetry)",
+    )
+    target.add_argument(
+        "--telemetry", metavar="DIR",
+        help="bare telemetry directory (no broker queue stats)",
+    )
+    parser.add_argument(
+        "--no-resume", action="store_true",
+        help=(
+            "ignore and do not write the persisted collector state "
+            "(.collector-state.json); always re-read every stream from "
+            "byte zero"
+        ),
+    )
+    if command == "top":
+        parser.add_argument(
+            "--interval", type=float, default=1.0, metavar="SECONDS",
+            help="refresh interval (default: 1.0)",
+        )
+        parser.add_argument(
+            "--once", action="store_true",
+            help="render a single screen and exit (no ANSI clear)",
+        )
+    elif command == "status":
+        parser.add_argument(
+            "--json", action="store_true",
+            help="emit the snapshot as one JSON object",
+        )
+    else:
+        parser.add_argument(
+            "--format", default="prom", choices=("prom",),
+            help="output format (only 'prom' for now)",
+        )
+    args = parser.parse_args(argv)
+    directory = Path(args.broker or args.telemetry)
+    if not directory.is_dir():
+        print(f"no such directory: {directory}", file=sys.stderr)
+        return 2
+    collector = TelemetryCollector(directory, persist=not args.no_resume)
+    if command == "metrics":
+        collector.poll()
+        print("\n".join(prometheus_lines(collector.snapshot())))
+        return 0
+    if command == "status":
+        collector.poll()
+        snapshot = collector.snapshot()
+        if args.json:
+            print(json_module.dumps(snapshot.to_dict(), sort_keys=True))
+        else:
+            print(snapshot.render())
+        return 0
+    try:
+        while True:
+            collector.poll()
+            screen = collector.snapshot().render()
+            if args.once:
+                print(screen)
+                return 0
+            # Clear + home, then the freshly-rendered screen.
+            sys.stdout.write("\x1b[2J\x1b[H" + screen + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 def _worker_main(argv: list[str]) -> int:
@@ -434,9 +557,9 @@ def _parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment id (t1, f3, ...), 'all', 'report', 'list', "
-            "'selftest', 'profile', 'lint', 'trace', 'bench' or 'worker' "
-            "(the last four own their argument sets; see "
-            "'cntcache <cmd> --help')"
+            "'selftest', 'profile', 'lint', 'trace', 'bench', 'worker', "
+            "'top', 'status' or 'metrics' (the last seven own their "
+            "argument sets; see 'cntcache <cmd> --help')"
         ),
     )
     parser.add_argument(
@@ -509,6 +632,16 @@ def _parser() -> argparse.ArgumentParser:
         help=(
             "broker lease time-to-live — the crash-detection latency "
             "(default: 30)"
+        ),
+    )
+    distributed.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="DIR",
+        help=(
+            "stream live telemetry frames (heartbeats, job lifecycle) "
+            "into DIR for `cntcache top`/`status`/`metrics` (default: "
+            "<broker>/telemetry when --broker is set, else off)"
         ),
     )
     resilience = parser.add_argument_group("resilience")
@@ -597,6 +730,7 @@ def _engine_from(args: argparse.Namespace) -> ExecEngine:
         backend=args.backend,
         exec_backend=args.exec_backend,
         broker=broker,
+        telemetry=args.telemetry,
     )
 
 
@@ -614,6 +748,8 @@ def main(argv: list[str] | None = None) -> int:
         return _bench_main(argv[1:])
     if argv[:1] == ["worker"]:
         return _worker_main(argv[1:])
+    if argv[:1] in (["top"], ["status"], ["metrics"]):
+        return _fleet_main(argv[0], argv[1:])
     args = _parser().parse_args(argv)
     size = SIZE_ALIASES.get(args.size, args.size)
     if args.jobs < 1:
@@ -688,12 +824,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment == "report":
         try:
+            engine = _engine_from(args)
             path = write_report(
-                args.output,
-                size=size,
-                seed=args.seed,
-                engine=_engine_from(args),
+                args.output, size=size, seed=args.seed, engine=engine
             )
+            engine.close_telemetry()
         except (EngineError, BrokerError) as error:
             print(str(error), file=sys.stderr)
             return 2
@@ -751,6 +886,8 @@ def main(argv: list[str] | None = None) -> int:
     except JobFailure as error:
         print(f"job failed: {error}", file=sys.stderr)
         return 1
+    finally:
+        engine.close_telemetry()
     if args.progress or args.cache_dir or args.jobs > 1 or args.broker:
         print(engine.summary())
     return 0

@@ -38,8 +38,10 @@ from repro.obs.bench import (
 from repro.obs.export import (
     chrome_trace,
     collapsed_stacks,
+    fleet_chrome_trace,
     write_chrome,
     write_collapsed,
+    write_fleet_chrome,
 )
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
@@ -59,6 +61,20 @@ from repro.obs.profile import (
     profile_experiments,
 )
 from repro.obs.session import Obs
+from repro.obs.telemetry import (
+    TELEMETRY_SCHEMA,
+    FleetSnapshot,
+    ProcessView,
+    TelemetryCollector,
+    TelemetryError,
+    TelemetryWriter,
+    make_trace_id,
+    prometheus_lines,
+    read_all_frames,
+    read_frames,
+    span_for,
+    telemetry_dir,
+)
 from repro.obs.trace import (
     TRACE_SCHEMA,
     TraceSink,
@@ -71,16 +87,22 @@ __all__ = [
     "MANIFEST_SCHEMA",
     "METRIC_NAMES",
     "PROFILE_SCHEMA",
+    "TELEMETRY_SCHEMA",
     "TRACE_SCHEMA",
     "BenchError",
     "BenchRecord",
+    "FleetSnapshot",
     "ManifestError",
     "ManifestSummary",
     "ManifestWriter",
     "Obs",
     "ObsScope",
+    "ProcessView",
     "ProfileError",
     "ProfileReport",
+    "TelemetryCollector",
+    "TelemetryError",
+    "TelemetryWriter",
     "TraceSink",
     "append_record",
     "canonical_access_events",
@@ -89,16 +111,24 @@ __all__ = [
     "compare",
     "counter",
     "event",
+    "fleet_chrome_trace",
     "gauge",
     "is_registered",
     "load_trajectory",
+    "make_trace_id",
     "merge_manifests",
     "profile_experiments",
+    "prometheus_lines",
+    "read_all_frames",
+    "read_frames",
     "read_manifest",
     "recording",
+    "span_for",
     "summarize",
+    "telemetry_dir",
     "timer",
     "tracing",
     "write_chrome",
     "write_collapsed",
+    "write_fleet_chrome",
 ]

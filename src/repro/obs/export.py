@@ -124,6 +124,136 @@ def collapsed_stacks(traces: Iterable[dict]) -> list[str]:
     ]
 
 
+def fleet_chrome_trace(frames: Iterable[dict]) -> dict:
+    """One Chrome timeline for the whole fleet, from telemetry frames.
+
+    Consumes the NDJSON frames :mod:`repro.obs.telemetry` streams (see
+    :func:`repro.obs.telemetry.read_all_frames`) and renders every
+    process identity as its own Chrome *process* row — the coordinator
+    first, then each worker.  ``claim`` → ``finish``/``fail`` lifecycle
+    pairs become complete (``"ph": "X"``) job spans on the shared
+    wall-clock timeline (correlation ids in ``args``), unpaired
+    lifecycle events become instants, and coordinator queue-depth
+    heartbeats become counter (``"ph": "C"``) samples, so the drain's
+    shape — steals, stragglers, idle tails — is visible at a glance in
+    Perfetto.
+    """
+    ordered = sorted(
+        (frame for frame in frames if frame),
+        key=lambda frame: float(frame.get("ts", 0.0)),
+    )
+    procs: list[str] = []
+    roles: dict[str, str] = {}
+    for frame in ordered:
+        identity = str(frame.get("proc", "?"))
+        if identity not in roles:
+            roles[identity] = str(frame.get("role", "worker"))
+            procs.append(identity)
+    procs.sort(key=lambda identity: (roles[identity] != "coordinator", identity))
+    pids = {identity: pid for pid, identity in enumerate(procs, start=1)}
+    base_ts = float(ordered[0].get("ts", 0.0)) if ordered else 0.0
+    last_ts = float(ordered[-1].get("ts", 0.0)) if ordered else 0.0
+
+    def us(ts: float) -> float:
+        return (ts - base_ts) * 1e6
+
+    trace_events: list[dict] = []
+    for identity in procs:
+        trace_events.append(
+            {
+                "ph": "M",
+                "pid": pids[identity],
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": f"{roles[identity]} {identity}"},
+            }
+        )
+    #: (identity, fingerprint) -> the opening claim frame.
+    open_claims: dict[tuple[str, str], dict] = {}
+    for frame in ordered:
+        identity = str(frame.get("proc", "?"))
+        pid = pids[identity]
+        ts = float(frame.get("ts", 0.0))
+        kind = frame.get("type")
+        if kind == "heartbeat":
+            gauges = frame.get("gauges") or {}
+            depth = gauges.get("queue_depth")
+            if isinstance(depth, (int, float)):
+                trace_events.append(
+                    {
+                        "ph": "C",
+                        "pid": pid,
+                        "tid": 0,
+                        "name": "queue_depth",
+                        "ts": us(ts),
+                        "args": {"pending": float(depth)},
+                    }
+                )
+            continue
+        if kind != "lifecycle":
+            continue
+        event = str(frame.get("event", "?"))
+        fingerprint = str(frame.get("fingerprint") or "")
+        args = {
+            name: value
+            for name, value in frame.items()
+            if name not in ("schema", "type", "ts", "proc", "role", "event")
+        }
+        if event == "claim" and fingerprint:
+            open_claims[(identity, fingerprint)] = frame
+            continue
+        if event in ("finish", "fail", "quarantine") and fingerprint:
+            opened = open_claims.pop((identity, fingerprint), None)
+            if opened is not None:
+                start = float(opened.get("ts", ts))
+                trace_events.append(
+                    {
+                        "ph": "X",
+                        "pid": pid,
+                        "tid": 1,
+                        "cat": "job",
+                        "name": str(
+                            frame.get("label")
+                            or opened.get("label")
+                            or fingerprint[:12]
+                        ),
+                        "ts": us(start),
+                        "dur": max(us(ts) - us(start), 1.0),
+                        "args": args,
+                    }
+                )
+                continue
+        trace_events.append(
+            {
+                "ph": "i",
+                "pid": pid,
+                "tid": 0,
+                "cat": "lifecycle",
+                "name": event,
+                "ts": us(ts),
+                "s": "p",
+                "args": args,
+            }
+        )
+    # A claim whose job was still running when the stream ended is drawn
+    # to the last observed instant, not dropped.
+    for (identity, fingerprint), opened in open_claims.items():
+        start = float(opened.get("ts", last_ts))
+        trace_events.append(
+            {
+                "ph": "X",
+                "pid": pids[identity],
+                "tid": 1,
+                "cat": "job",
+                "name": str(opened.get("label") or fingerprint[:12]),
+                "ts": us(start),
+                "dur": max(us(last_ts) - us(start), 1.0),
+                "args": {"unfinished": True, "fingerprint": fingerprint},
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
 def write_chrome(traces: Iterable[dict], path: str | Path) -> Path:
     """Write :func:`chrome_trace` output as JSON; returns the path."""
     path = Path(path)
@@ -143,4 +273,22 @@ def write_collapsed(traces: Iterable[dict], path: str | Path) -> Path:
     return path
 
 
-__all__ = ["chrome_trace", "collapsed_stacks", "write_chrome", "write_collapsed"]
+def write_fleet_chrome(frames: Iterable[dict], path: str | Path) -> Path:
+    """Write :func:`fleet_chrome_trace` output as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(fleet_chrome_trace(frames), sort_keys=True),
+        encoding="utf-8",
+    )
+    return path
+
+
+__all__ = [
+    "chrome_trace",
+    "collapsed_stacks",
+    "fleet_chrome_trace",
+    "write_chrome",
+    "write_collapsed",
+    "write_fleet_chrome",
+]

@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Iterable
 
 from repro import faults
+from repro.obs import probe
 from repro.schemas import MANIFEST
 
 #: Manifest format tag; bump the version in :mod:`repro.schemas` when
@@ -57,16 +58,26 @@ def header_entry() -> dict:
     return {"type": "header", "schema": MANIFEST_SCHEMA}
 
 
-def job_entry(job, result, queue_wait_s: float = 0.0) -> dict:
+def job_entry(
+    job,
+    result,
+    queue_wait_s: float = 0.0,
+    trace_id: str | None = None,
+    span_id: str | None = None,
+) -> dict:
     """One resolved job, JSON-ready.
 
     ``job`` is a :class:`repro.exec.SimJob`, ``result`` the matching
     :class:`repro.exec.ExecResult`; the per-job probe snapshot (if the
-    job ran with probes on) rides along in ``result.obs``.
+    job ran with probes on) rides along in ``result.obs``.  A broker
+    coordinator additionally stamps the fleet ``trace_id`` and the
+    job's derived ``span_id`` (see :mod:`repro.obs.telemetry`) so
+    manifest entries correlate with worker telemetry and trace
+    snapshots; both are omitted for untraced runs.
     """
     stats = result.stats
     obs = result.obs or {}
-    return {
+    entry = {
         "type": "job",
         "fingerprint": job.fingerprint,
         "label": job.label,
@@ -87,6 +98,10 @@ def job_entry(job, result, queue_wait_s: float = 0.0) -> dict:
         "events": list(obs.get("events", [])),
         "gauges": dict(obs.get("gauges", {})),
     }
+    if trace_id is not None:
+        entry["trace_id"] = trace_id
+        entry["span_id"] = span_id
+    return entry
 
 
 def failure_entry(record) -> dict:
@@ -173,35 +188,58 @@ class ManifestWriter:
 def read_manifest(path: str | Path, on_error: str = "raise") -> list[dict]:
     """Parse one manifest; validates the header and every line.
 
-    ``on_error`` selects the policy for malformed *lines* (torn writes,
-    poisoned entries): ``"raise"`` (the default) raises
+    ``on_error`` selects the policy for malformed *complete* lines
+    (poisoned entries): ``"raise"`` (the default) raises
     :class:`ManifestError` at the first bad line; ``"skip"`` drops bad
     lines and keeps the parseable rest — what ``cntcache profile`` uses,
     so one corrupt line cannot blank a whole run's telemetry.  A bad
     header is fatal under both policies.
+
+    A *torn* final line — unterminated (no trailing newline) and
+    unparseable, i.e. a live writer caught mid-append — is different
+    from corruption: under **both** policies it is skipped and counted
+    (``obs.torn_lines``), so tailing a manifest that is still being
+    written never raises on the write in flight.  An unterminated final
+    line that *does* parse is kept — the writer merely died between
+    the payload and its newline.
     """
     if on_error not in ("raise", "skip"):
         raise ManifestError(f"on_error must be 'raise' or 'skip': {on_error!r}")
     path = Path(path)
     entries: list[dict] = []
     with path.open("r", encoding="utf-8") as stream:
-        for lineno, line in enumerate(stream, start=1):
-            line = line.strip()
-            if not line:
+        text = stream.read()
+    lines = text.split("\n")
+    torn_tail = None
+    if lines and lines[-1] != "":
+        torn_tail = lines[-1]  # final line lacks its newline: maybe torn
+    lines = lines[:-1]
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError as error:
+            if on_error == "skip":
                 continue
-            try:
-                entry = json.loads(line)
-            except ValueError as error:
-                if on_error == "skip":
-                    continue
-                raise ManifestError(
-                    f"{path}:{lineno}: not JSON: {error}"
-                ) from None
-            if not isinstance(entry, dict) or "type" not in entry:
-                if on_error == "skip":
-                    continue
-                raise ManifestError(f"{path}:{lineno}: entry without 'type'")
+            raise ManifestError(
+                f"{path}:{lineno}: not JSON: {error}"
+            ) from None
+        if not isinstance(entry, dict) or "type" not in entry:
+            if on_error == "skip":
+                continue
+            raise ManifestError(f"{path}:{lineno}: entry without 'type'")
+        entries.append(entry)
+    if torn_tail is not None and torn_tail.strip():
+        try:
+            entry = json.loads(torn_tail)
+        except ValueError:
+            entry = None
+        if isinstance(entry, dict) and "type" in entry:
             entries.append(entry)
+        else:
+            probe.counter("obs.torn_lines")
     if not entries:
         raise ManifestError(f"{path}: empty manifest")
     head = entries[0]

@@ -52,6 +52,16 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "exec.quarantined",
         "exec.reclaims",
         "exec.workers_lost",
+        # live fleet telemetry (repro.obs.telemetry + tailing readers)
+        "broker.queue_depth",
+        "obs.torn_lines",
+        "telemetry.frames",
+        "telemetry.suppressed",
+        "telemetry.write_errors",
+        # worker self-reported gauges (repro.exec.broker.run_worker)
+        "worker.claimed",
+        "worker.failures",
+        "worker.jobs_done",
         # per-process workload memo
         "workload.builds",
         "workload.memo_hits",

@@ -49,9 +49,27 @@ class Obs(ObsScope):
     # -------------------------------------------------------------- #
     # reporting (called by the engine)
     # -------------------------------------------------------------- #
-    def record_job(self, job, result, queue_wait_s: float = 0.0) -> dict:
-        """Append one resolved-job entry; returns it."""
-        entry = job_entry(job, result, queue_wait_s=queue_wait_s)
+    def record_job(
+        self,
+        job,
+        result,
+        queue_wait_s: float = 0.0,
+        trace_id: str | None = None,
+        span_id: str | None = None,
+    ) -> dict:
+        """Append one resolved-job entry; returns it.
+
+        ``trace_id``/``span_id`` are the fleet correlation ids a broker
+        coordinator stamps (see :mod:`repro.obs.telemetry`); omitted
+        from the entry when ``None``.
+        """
+        entry = job_entry(
+            job,
+            result,
+            queue_wait_s=queue_wait_s,
+            trace_id=trace_id,
+            span_id=span_id,
+        )
         self._append(entry)
         return entry
 

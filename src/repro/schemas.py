@@ -138,6 +138,18 @@ BROKER = _register(
     ),
 )
 
+#: Streaming fleet-telemetry frames (per-process NDJSON files under
+#: ``<broker>/telemetry/``) and the merged snapshot/collector state.
+TELEMETRY = _register(
+    "TELEMETRY",
+    Schema(
+        family="obs-telemetry",
+        version=1,
+        owner="repro.obs.telemetry",
+        doc="live fleet heartbeat/lifecycle frames behind `cntcache top`",
+    ),
+)
+
 #: Profile reports (`cntcache profile --json`).
 PROFILE = _register(
     "PROFILE",
@@ -192,6 +204,7 @@ __all__ = [
     "SCHEMAS",
     "Schema",
     "SchemaError",
+    "TELEMETRY",
     "TRACE",
     "is_registered_tag",
     "registered_tags",

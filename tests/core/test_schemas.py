@@ -46,6 +46,7 @@ class TestRegistry:
             "exec-v3",
             "exec-broker-v1",
             "obs-manifest-v1",
+            "obs-telemetry-v1",
             "obs-trace-v1",
             "obs-bench-v1",
             "obs-profile-v1",
@@ -73,13 +74,14 @@ class TestRegistry:
 
     def test_owner_modules_reexport_the_registered_tags(self):
         from repro.exec import job
-        from repro.obs import bench, manifest, profile, trace
+        from repro.obs import bench, manifest, profile, telemetry, trace
 
         assert job.ENGINE_SCHEMA == schemas.EXEC.tag
         assert manifest.MANIFEST_SCHEMA == schemas.MANIFEST.tag
         assert trace.TRACE_SCHEMA == schemas.TRACE.tag
         assert bench.BENCH_SCHEMA == schemas.BENCH.tag
         assert profile.PROFILE_SCHEMA == schemas.PROFILE.tag
+        assert telemetry.TELEMETRY_SCHEMA == schemas.TELEMETRY.tag
 
     def test_owner_field_names_a_real_module(self):
         import importlib

@@ -36,3 +36,14 @@ def clean_uses(kind):
 
 def deliberate_one_off():
     probe.counter("scratch")  # lint: disable=R008
+
+
+def telemetry_typo():
+    probe.gauge("broker.queue_depht", 3)  # line 42: typo'd telemetry name
+
+
+def telemetry_clean():
+    probe.gauge("broker.queue_depth", 3)
+    probe.counter("telemetry.frames")
+    probe.counter("obs.torn_lines")
+    probe.gauge("worker.jobs_done", 1)

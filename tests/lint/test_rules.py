@@ -193,6 +193,7 @@ class TestR008:
             ("R008", 14),
             ("R008", 18),
             ("R008", 22),
+            ("R008", 42),
         ]
         assert "exec.retires" in findings[0].message
         assert "dotted" in findings[1].message
@@ -201,6 +202,9 @@ class TestR008:
         # one fires.
         assert "cache.missses" in findings[3].message
         assert "NotDotted" in findings[4].message
+        # Telemetry names registered this PR: the typo fires, the real
+        # names (telemetry_clean) stay quiet.
+        assert "broker.queue_depht" in findings[5].message
 
     def test_disable_comment_is_the_escape_hatch(self):
         findings = findings_for("r008_metrics.py")
@@ -208,9 +212,12 @@ class TestR008:
 
     def test_dynamic_names_and_event_kinds_are_exempt(self):
         # The clean_uses block (registered literals, f-strings,
-        # trace.emit kinds) must contribute no findings.
+        # trace.emit kinds) and the telemetry_clean block (names this
+        # PR registered) must contribute no findings.
         findings = findings_for("r008_metrics.py")
-        assert all(finding.line < 26 for finding in findings)
+        assert all(
+            finding.line < 26 or finding.line == 42 for finding in findings
+        )
 
     def test_quiet_outside_repro_source(self):
         config = LintConfig(honor_skip_file=False, scope_to_source=True)

@@ -285,3 +285,76 @@ class TestSummarize:
         payload = summary.to_dict()
         assert payload["failures"] == 5
         assert len(payload["failed"]) == 3
+
+
+class TestTornTail:
+    """A live writer's unterminated final line must never poison a read."""
+
+    def header_and_job(self):
+        return json.dumps(header_entry()) + "\n" + json.dumps(job()) + "\n"
+
+    def test_truncated_final_record_skipped_under_both_policies(self, tmp_path):
+        # Regression: a reader racing a live writer (or a crash mid-write)
+        # sees half a record with no newline; that tail is torn, not
+        # poisoned, so even the strict policy keeps the complete prefix.
+        path = tmp_path / "torn.jsonl"
+        entry = json.dumps(job())
+        path.write_text(self.header_and_job() + entry[: len(entry) // 2])
+        for policy in ("raise", "skip"):
+            entries = read_manifest(path, on_error=policy)
+            assert [e["type"] for e in entries] == ["header", "job"]
+
+    def test_unterminated_but_complete_final_record_is_kept(self, tmp_path):
+        # A writer that simply hasn't flushed the newline yet: the record
+        # itself is whole, so it parses and counts.
+        path = tmp_path / "unterminated.jsonl"
+        path.write_text(self.header_and_job() + json.dumps(job(wall_s=9.0)))
+        entries = read_manifest(path)
+        assert [e["type"] for e in entries] == ["header", "job", "job"]
+        assert entries[-1]["wall_s"] == 9.0
+
+    def test_complete_garbage_lines_still_raise_strictly(self, tmp_path):
+        # The torn-tail tolerance must not weaken the old contract for
+        # newline-terminated poison.
+        path = tmp_path / "poison.jsonl"
+        path.write_text(self.header_and_job() + "not json\n")
+        with pytest.raises(ManifestError):
+            read_manifest(path)
+
+
+class TestTraceCorrelationIds:
+    def test_job_entry_carries_ids_only_when_stamped(self):
+        from repro.exec.job import trace_job
+        from repro.exec.worker import execute_job
+        from repro.obs.manifest import job_entry
+
+        job_obj = trace_job("crc32", "tiny", 3)
+        result = execute_job(job_obj)
+        plain = job_entry(job_obj, result)
+        assert "trace_id" not in plain and "span_id" not in plain
+        tagged = job_entry(
+            job_obj, result, trace_id="t" * 32, span_id="s" * 16
+        )
+        assert tagged["trace_id"] == "t" * 32
+        assert tagged["span_id"] == "s" * 16
+
+
+class TestMergeOrdering:
+    def test_multi_worker_merge_summarizes_order_independently(self, tmp_path):
+        # Two workers' manifests describe disjoint job sets; whichever
+        # order the coordinator merges them in, the aggregate is the same.
+        a = tmp_path / "worker-a.jsonl"
+        with ManifestWriter(a) as writer:
+            writer.write(job(kind="workload", scheme="cnt",
+                             wall_s=2.0, accesses=100, total_fj=1000.0))
+            writer.write(job(kind="oracle", scheme="baseline",
+                             wall_s=0.5, accesses=50, total_fj=250.0))
+        b = tmp_path / "worker-b.jsonl"
+        with ManifestWriter(b) as writer:
+            writer.write(job(kind="workload", scheme="dbi", source="cache",
+                             wall_s=1.0, accesses=200, total_fj=4000.0))
+        forward = summarize(merge_manifests([a, b])).to_dict()
+        backward = summarize(merge_manifests([b, a])).to_dict()
+        assert forward == backward
+        assert forward["jobs"] == 3
+        assert forward["total_fj"] == pytest.approx(5250.0)
